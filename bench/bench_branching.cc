@@ -1,0 +1,64 @@
+// E8 — Zone branching factor (paper §3: "Each of these tables is limited
+// to some small size (say, 64 rows); thus the hierarchy may be several
+// levels deep").
+//
+// Fixed 4096 subscribers; sweep the branching factor and report the tree
+// depth, delivery latency, and the forwarding load concentration (mean
+// and max forwards per node) — the trade-off that motivates bounded table
+// sizes.
+#include <cstdio>
+#include <vector>
+
+#include "newswire/system.h"
+#include "util/table_printer.h"
+
+using namespace nw;
+
+int main() {
+  std::printf(
+      "E8: branching factor sweep at 4096 subscribers (10 items, warm "
+      "replicas)\n\n");
+  util::TablePrinter table({"branching", "depth", "p50_ms", "p99_ms",
+                            "mean_fwd/node", "max_fwd/node"});
+  for (std::size_t b : {4u, 8u, 16u, 64u}) {
+    newswire::SystemConfig cfg;
+    cfg.num_subscribers = 4096;
+    cfg.branching = b;
+    cfg.catalog_size = 1;
+    cfg.subjects_per_subscriber = 1;
+    cfg.warm_start = true;
+    cfg.run_gossip = false;
+    cfg.subscriber.repair_interval = 0;
+    cfg.subscriber.cache.capacity = 16;
+    cfg.seed = 13;
+    newswire::NewswireSystem sys(cfg);
+    for (int k = 0; k < 10; ++k) {
+      sys.deployment().sim().At(k * 0.5, [&sys] {
+        sys.PublishArticle(0, sys.catalog()[0]);
+      });
+    }
+    sys.RunFor(60);
+    std::uint64_t total_fwd = 0, max_fwd = 0;
+    for (std::size_t i = 0; i < sys.node_count(); ++i) {
+      const std::uint64_t f = sys.multicast_at(i).stats().forwards;
+      total_fwd += f;
+      max_fwd = std::max(max_fwd, f);
+    }
+    table.AddRow(
+        {util::TablePrinter::Int(long(b)),
+         util::TablePrinter::Int(long(sys.deployment().Depth())),
+         util::TablePrinter::Num(sys.latencies().Percentile(50) * 1e3, 0),
+         util::TablePrinter::Num(sys.latencies().Percentile(99) * 1e3, 0),
+         util::TablePrinter::Num(double(total_fwd) / double(sys.node_count()),
+                                 2),
+         util::TablePrinter::Int(long(max_fwd))});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: small branching gives deep trees (more hops, higher "
+      "latency) but spreads forwarding across many representatives; large "
+      "branching flattens the tree at the cost of concentrating fan-out on "
+      "few nodes — the paper's 64-row table cap sits at the flat end of "
+      "this trade-off.\n");
+  return 0;
+}

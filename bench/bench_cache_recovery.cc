@@ -1,0 +1,133 @@
+// E10 — End-to-end reliability through the message cache (paper §9: "The
+// same cache is used for assisting in achieving end-to-end reliability in
+// the case of forwarding node failures, and for a limited state transfer
+// to participants that are joining the system").
+//
+// Part 1: a burst of items is published while 20% of the nodes (k=1
+// forwarding, so some act as sole forwarders) crash mid-burst; we track
+// completeness over time as the peer anti-entropy repairs the holes.
+//
+// Part 2: a node joins (restarts empty) after the burst and catches up
+// via state transfer from a cache peer.
+#include <cstdio>
+#include <vector>
+
+#include "newswire/system.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+using namespace nw;
+
+int main() {
+  std::printf(
+      "E10 part 1: completeness over time with 20%% crashes mid-burst "
+      "(k=1, repair every 5s)\n\n");
+  newswire::SystemConfig cfg;
+  cfg.num_subscribers = 128;
+  cfg.branching = 8;
+  cfg.catalog_size = 2;
+  cfg.subjects_per_subscriber = 2;
+  cfg.multicast.redundancy = 1;
+  cfg.subscriber.repair_interval = 5.0;
+  cfg.subscriber.repair_window = 600.0;
+  cfg.warm_start = true;
+  cfg.run_gossip = true;
+  cfg.seed = 77;
+  newswire::NewswireSystem sys(cfg);
+  sys.RunFor(10);
+
+  std::vector<std::pair<std::string, std::string>> published;
+  for (int k = 0; k < 20; ++k) {
+    sys.deployment().sim().At(sys.Now() + k * 0.5, [&sys, &published] {
+      const std::string subject = sys.RandomSubject();
+      const std::string id = sys.PublishArticle(0, subject);
+      if (!id.empty()) published.emplace_back(id, subject);
+    });
+  }
+  util::DeterministicRng kill_rng(5);
+  sys.deployment().sim().At(sys.Now() + 5.0, [&] {
+    std::size_t killed = 0;
+    while (killed < sys.subscriber_count() / 5) {
+      const std::size_t i =
+          std::size_t(kill_rng.NextBelow(sys.subscriber_count()));
+      if (sys.deployment().net().IsAlive(sys.subscriber_agent(i).id())) {
+        sys.deployment().net().Kill(sys.subscriber_agent(i).id());
+        ++killed;
+      }
+    }
+  });
+
+  auto completeness = [&] {
+    std::size_t got = 0, expected = 0;
+    for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
+      if (!sys.deployment().net().IsAlive(sys.subscriber_agent(i).id())) {
+        continue;
+      }
+      const auto& subjects = sys.SubjectsOf(i);
+      for (const auto& [id, subject] : published) {
+        if (std::find(subjects.begin(), subjects.end(), subject) ==
+            subjects.end()) {
+          continue;
+        }
+        ++expected;
+        if (sys.subscriber(i).cache().Contains(id)) ++got;
+      }
+    }
+    return expected ? 100.0 * double(got) / double(expected) : 0.0;
+  };
+
+  util::TablePrinter t1({"t_after_burst_s", "completeness%", "repaired_items"});
+  const double burst_end = sys.Now() + 10.0;
+  for (double checkpoint : {0.0, 15.0, 30.0, 60.0, 120.0}) {
+    const double target = burst_end + checkpoint;
+    if (target > sys.Now()) sys.RunFor(target - sys.Now());
+    std::uint64_t repaired = 0;
+    for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
+      repaired += sys.subscriber(i).stats().repaired;
+    }
+    t1.AddRow({util::TablePrinter::Num(checkpoint, 0),
+               util::TablePrinter::Num(completeness(), 2),
+               util::TablePrinter::Int(long(repaired))});
+  }
+  t1.Print();
+
+  std::printf(
+      "\nE10 part 2: join state transfer — a crashed subscriber restarts "
+      "empty and catches up from a cache peer\n\n");
+  // Restart one victim and let it state-transfer.
+  std::size_t victim = SIZE_MAX;
+  for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
+    if (!sys.deployment().net().IsAlive(sys.subscriber_agent(i).id())) {
+      victim = i;
+      break;
+    }
+  }
+  util::TablePrinter t2({"joiner_cache_before", "joiner_cache_after",
+                         "items_via_state_transfer", "catchup_time_s"});
+  if (victim != SIZE_MAX) {
+    sys.deployment().net().Restart(sys.subscriber_agent(victim).id());
+    // Caches are volatile: a restart models a fresh join. Ask a live peer.
+    std::size_t donor = (victim + 1) % sys.subscriber_count();
+    while (!sys.deployment().net().IsAlive(
+        sys.subscriber_agent(donor).id())) {
+      donor = (donor + 1) % sys.subscriber_count();
+    }
+    const std::size_t before = sys.subscriber(victim).cache().size();
+    const double t_start = sys.Now();
+    sys.subscriber(victim).RequestStateTransfer(
+        sys.subscriber_agent(donor).id());
+    sys.RunFor(5);
+    t2.AddRow({util::TablePrinter::Int(long(before)),
+               util::TablePrinter::Int(long(sys.subscriber(victim).cache().size())),
+               util::TablePrinter::Int(
+                   long(sys.subscriber(victim).stats().state_transfer)),
+               util::TablePrinter::Num(sys.Now() - t_start, 1)});
+  }
+  t2.Print();
+  std::printf(
+      "\nReading: forwarding-node failures cut whole subtrees at k=1, but "
+      "peer anti-entropy over the message cache restores completeness "
+      "within a few repair rounds, and a joiner recovers the recent window "
+      "in one exchange — both §9 claims.\n");
+  return 0;
+}

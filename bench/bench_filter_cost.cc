@@ -1,0 +1,174 @@
+// E9 — Filtering cost: why the Bloom filter replaces per-subscription
+// attributes (paper §6: "Having an attribute for each possible
+// subscription would be poorly scalable because the work done for
+// purposes of filtering would be at least linear in the number of
+// subscriptions").
+//
+// google-benchmark suite comparing, as the number of distinct
+// subscriptions S grows:
+//   * per-forward admission test (Bloom vs category-mask vs one attribute
+//     per subscription),
+//   * the aggregation recomputation a zone performs when a child row
+//     changes (one OR(subs) query vs S per-attribute queries),
+//   * the MIB bytes gossip must carry.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "astrolabe/sql/eval.h"
+#include "astrolabe/sql/parser.h"
+#include "astrolabe/table.h"
+#include "pubsub/bloom_filter.h"
+#include "pubsub/category_subscriptions.h"
+#include "pubsub/pubsub.h"
+
+using namespace nw;
+using astrolabe::AttrValue;
+using astrolabe::Row;
+using astrolabe::Table;
+
+namespace {
+
+std::string SubjectName(std::size_t i) {
+  return "subject." + std::to_string(i);
+}
+
+// ---- per-forward admission ----
+
+void BM_AdmitBloom(benchmark::State& state) {
+  const std::size_t subs = std::size_t(state.range(0));
+  pubsub::BloomConfig cfg;
+  cfg.bits = 1024;
+  pubsub::BloomFilter filter(cfg);
+  for (std::size_t s = 0; s < subs; ++s) filter.Add(SubjectName(s));
+  Row child;
+  child[pubsub::kAttrSubs] = filter.bits();
+  multicast::Item item;
+  item.metadata[pubsub::kAttrSubBits] = astrolabe::ValueList{
+      AttrValue(std::int64_t(filter.Positions(SubjectName(0))[0]))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pubsub::PubSubService::ChildAdmits(item, child));
+  }
+  state.SetLabel("constant in #subscriptions");
+}
+BENCHMARK(BM_AdmitBloom)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AdmitCategoryMask(benchmark::State& state) {
+  const std::size_t publishers = std::size_t(state.range(0));
+  Row child;
+  for (std::size_t p = 0; p < publishers; ++p) {
+    child[pubsub::CategoryAttrFor("pub" + std::to_string(p))] =
+        std::int64_t{0xff};
+  }
+  multicast::Item item;
+  item.metadata[pubsub::kAttrPublisher] = std::string("pub0");
+  item.metadata[pubsub::kAttrCatMask] = std::int64_t{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pubsub::CategorySubscriptions::ChildAdmits(item, child));
+  }
+  state.SetLabel("lookup among #publishers attributes");
+}
+BENCHMARK(BM_AdmitCategoryMask)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AdmitPerSubscriptionAttributes(benchmark::State& state) {
+  // The strawman §6 rejects: one attribute per subscription in every row.
+  const std::size_t subs = std::size_t(state.range(0));
+  Row child;
+  for (std::size_t s = 0; s < subs; ++s) {
+    child["sub_" + SubjectName(s)] = true;
+  }
+  const std::string wanted = "sub_" + SubjectName(subs / 2);
+  for (auto _ : state) {
+    auto it = child.find(wanted);
+    benchmark::DoNotOptimize(it != child.end() && it->second.AsBool());
+  }
+  state.SetLabel("map over #subscription attributes");
+}
+BENCHMARK(BM_AdmitPerSubscriptionAttributes)->Arg(16)->Arg(256)->Arg(4096);
+
+// ---- aggregation recomputation on child change ----
+
+Table MakeChildTable(std::size_t rows, std::size_t subs, bool per_attr) {
+  Table t;
+  pubsub::BloomConfig cfg;
+  cfg.bits = 1024;
+  for (std::size_t r = 0; r < rows; ++r) {
+    astrolabe::RowEntry e;
+    if (per_attr) {
+      for (std::size_t s = r % 4; s < subs; s += 4) {
+        e.attrs["sub_" + SubjectName(s)] = true;
+      }
+    } else {
+      pubsub::BloomFilter f(cfg);
+      for (std::size_t s = r % 4; s < subs; s += 4) f.Add(SubjectName(s));
+      e.attrs[pubsub::kAttrSubs] = f.bits();
+    }
+    e.version = 1;
+    t.MergeEntry("n" + std::to_string(r), e, 0.0);
+  }
+  return t;
+}
+
+void BM_AggregateBloomFilter(benchmark::State& state) {
+  const std::size_t subs = std::size_t(state.range(0));
+  Table t = MakeChildTable(64, subs, /*per_attr=*/false);
+  const auto query = astrolabe::sql::ParseQuery(pubsub::SubsFunctionCode());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(astrolabe::sql::EvalQuery(query, t));
+  }
+  state.SetLabel("one OR() query regardless of #subscriptions");
+}
+BENCHMARK(BM_AggregateBloomFilter)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AggregatePerSubscriptionAttributes(benchmark::State& state) {
+  const std::size_t subs = std::size_t(state.range(0));
+  Table t = MakeChildTable(64, subs, /*per_attr=*/true);
+  // One aggregation term per subscription attribute — the linear work the
+  // paper calls out. (Queries are pre-parsed; only evaluation is timed.)
+  std::vector<astrolabe::sql::Query> queries;
+  for (std::size_t s = 0; s < subs; ++s) {
+    const std::string attr = "sub_" + SubjectName(s);
+    queries.push_back(
+        astrolabe::sql::ParseQuery("SELECT MAX(" + attr + ") AS " + attr));
+  }
+  for (auto _ : state) {
+    Row out;
+    for (const auto& q : queries) {
+      Row r = astrolabe::sql::EvalQuery(q, t);
+      for (auto& [k, v] : r) out.insert_or_assign(k, std::move(v));
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel("S queries: linear in #subscriptions");
+}
+BENCHMARK(BM_AggregatePerSubscriptionAttributes)->Arg(16)->Arg(256)->Arg(4096);
+
+// ---- gossiped state size ----
+
+void BM_MibWireBytes(benchmark::State& state) {
+  const std::size_t subs = std::size_t(state.range(0));
+  pubsub::BloomConfig cfg;
+  cfg.bits = 1024;
+  pubsub::BloomFilter f(cfg);
+  Row bloom_row, attr_row;
+  for (std::size_t s = 0; s < subs; ++s) {
+    f.Add(SubjectName(s));
+    attr_row["sub_" + SubjectName(s)] = true;
+  }
+  bloom_row[pubsub::kAttrSubs] = f.bits();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(astrolabe::RowWireBytes(bloom_row));
+    benchmark::DoNotOptimize(astrolabe::RowWireBytes(attr_row));
+  }
+  state.counters["bloom_bytes"] =
+      double(astrolabe::RowWireBytes(bloom_row));
+  state.counters["per_attr_bytes"] =
+      double(astrolabe::RowWireBytes(attr_row));
+}
+BENCHMARK(BM_MibWireBytes)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

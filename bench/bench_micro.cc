@@ -1,0 +1,154 @@
+// E12 — Micro-costs of the building blocks (paper §3/§5): aggregation
+// evaluation, gossip-table merging, certificate operations, Bloom
+// operations, zone-path handling, and the per-hop multicast decision.
+#include <benchmark/benchmark.h>
+
+#include "astrolabe/cert.h"
+#include "astrolabe/sql/eval.h"
+#include "astrolabe/sql/parser.h"
+#include "astrolabe/table.h"
+#include "astrolabe/zone_path.h"
+#include "astrolabe/agent.h"
+#include "pubsub/bloom_filter.h"
+#include "util/rng.h"
+
+using namespace nw;
+using astrolabe::AttrValue;
+using astrolabe::RowEntry;
+using astrolabe::Table;
+
+namespace {
+
+Table MakeTable(std::size_t rows) {
+  Table t;
+  util::DeterministicRng rng(3);
+  for (std::size_t r = 0; r < rows; ++r) {
+    RowEntry e;
+    e.attrs[astrolabe::kAttrContacts] =
+        astrolabe::ValueList{AttrValue(std::int64_t(r))};
+    e.attrs[astrolabe::kAttrMembers] = std::int64_t(1 + rng.NextBelow(100));
+    e.attrs[astrolabe::kAttrLoad] = rng.NextDouble();
+    e.version = r + 1;
+    t.MergeEntry("n" + std::to_string(r), e, 0.0);
+  }
+  return t;
+}
+
+void BM_ParseCoreAggregation(benchmark::State& state) {
+  const std::string code = astrolabe::DefaultCoreFunctionCode(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(astrolabe::sql::ParseQuery(code));
+  }
+}
+BENCHMARK(BM_ParseCoreAggregation);
+
+void BM_EvalCoreAggregation(benchmark::State& state) {
+  Table t = MakeTable(std::size_t(state.range(0)));
+  const auto query =
+      astrolabe::sql::ParseQuery(astrolabe::DefaultCoreFunctionCode(3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(astrolabe::sql::EvalQuery(query, t));
+  }
+}
+BENCHMARK(BM_EvalCoreAggregation)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_TableMerge(benchmark::State& state) {
+  Table incoming = MakeTable(std::size_t(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Table local = MakeTable(std::size_t(state.range(0)) / 2);
+    state.ResumeTiming();
+    for (const auto& [key, entry] : incoming) {
+      local.MergeEntry(key, entry, 1.0);
+    }
+    benchmark::DoNotOptimize(local);
+  }
+}
+BENCHMARK(BM_TableMerge)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_TableWireBytes(benchmark::State& state) {
+  Table t = MakeTable(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.WireBytes());
+  }
+}
+BENCHMARK(BM_TableWireBytes);
+
+void BM_CertIssue(benchmark::State& state) {
+  util::DeterministicRng rng(1);
+  astrolabe::Authority authority("root", astrolabe::GenerateKeyPair(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(authority.Issue(
+        astrolabe::CertKind::kFunction, "fn", 0,
+        {{"code", "SELECT MAX(load) AS load"}, {"version", "1"}}, 0, 1e18));
+  }
+}
+BENCHMARK(BM_CertIssue);
+
+void BM_CertValidateChain(benchmark::State& state) {
+  util::DeterministicRng rng(1);
+  astrolabe::Authority root("root", astrolabe::GenerateKeyPair(rng));
+  const astrolabe::KeyPair zone_keys = astrolabe::GenerateKeyPair(rng);
+  astrolabe::Authority zone("usa", zone_keys);
+  const auto zone_cert = root.Issue(astrolabe::CertKind::kZoneAuthority,
+                                    "usa", zone.public_key(), {}, 0, 1e18);
+  const auto agent_cert =
+      zone.Issue(astrolabe::CertKind::kAgent, "n1", 1, {}, 0, 1e18);
+  const std::vector<astrolabe::Certificate> inter{zone_cert};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        astrolabe::ValidateChain(agent_cert, inter, root.public_key(), 10));
+  }
+}
+BENCHMARK(BM_CertValidateChain);
+
+void BM_BloomAddAndTest(benchmark::State& state) {
+  pubsub::BloomConfig cfg;
+  cfg.bits = 1024;
+  pubsub::BloomFilter f(cfg);
+  int i = 0;
+  for (auto _ : state) {
+    const std::string subject = "subject." + std::to_string(i++ % 1000);
+    f.Add(subject);
+    benchmark::DoNotOptimize(f.MightContain(subject));
+  }
+}
+BENCHMARK(BM_BloomAddAndTest);
+
+void BM_BitVectorOr(benchmark::State& state) {
+  astrolabe::BitVector a(std::size_t(state.range(0)));
+  astrolabe::BitVector b(std::size_t(state.range(0)));
+  for (std::size_t i = 0; i < a.size(); i += 7) a.Set(i);
+  for (std::size_t i = 0; i < b.size(); i += 11) b.Set(i);
+  for (auto _ : state) {
+    astrolabe::BitVector c = a;
+    c |= b;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_BitVectorOr)->Arg(1024)->Arg(16384);
+
+void BM_ZonePathParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        astrolabe::ZonePath::Parse("/usa/ny/ithaca/campus/n12345"));
+  }
+}
+BENCHMARK(BM_ZonePathParse);
+
+void BM_PredicateEval(benchmark::State& state) {
+  const auto pred = astrolabe::sql::ParseExpression(
+      "urgency <= 3 AND CONTAINS(headline, 'election') AND premium = 1");
+  astrolabe::Row row;
+  row["urgency"] = std::int64_t{2};
+  row["headline"] = "election night special";
+  row["premium"] = std::int64_t{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(astrolabe::sql::EvalPredicate(*pred, row));
+  }
+}
+BENCHMARK(BM_PredicateEval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

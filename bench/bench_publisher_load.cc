@@ -1,0 +1,133 @@
+// E2 — Publisher load: one-to-many direct push vs NewsWire collaborative
+// dissemination (paper §2: direct personalized push "clearly has
+// scalability limitations"; the collaborative system "significantly
+// reduces the compute and network load at the publishers").
+//
+// For each subscriber count N we publish 5 articles (2 KB bodies) to every
+// subscriber and report the traffic that leaves the *publisher's* machine,
+// plus the time the last subscriber waits when the publisher uplink is a
+// 1 MB/s link.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baseline/pull.h"
+#include "newswire/system.h"
+#include "util/table_printer.h"
+
+using namespace nw;
+
+namespace {
+
+constexpr int kItems = 5;
+constexpr std::size_t kBody = 2048;
+constexpr double kUplink = 1e6;  // 1 MB/s publisher uplink
+
+struct Result {
+  double publisher_mb = 0;
+  double publisher_msgs = 0;
+  double last_delivery_s = 0;
+  double delivered_frac = 0;
+};
+
+Result RunDirectPush(std::size_t n) {
+  sim::Simulator sim(11);
+  sim::NetworkConfig nc;
+  nc.base_latency = 0.04;
+  nc.jitter_frac = 0.2;
+  nc.uplink_bytes_per_sec = kUplink;
+  sim::Network net(sim, nc);
+  baseline::DirectPushServer server;
+  net.AddNode(&server);
+  std::vector<std::unique_ptr<baseline::DirectPushClient>> clients;
+  for (std::size_t i = 0; i < n; ++i) {
+    clients.push_back(std::make_unique<baseline::DirectPushClient>());
+    net.AddNode(clients.back().get());
+    server.AddSubscriber(clients.back()->id());
+  }
+  for (int k = 0; k < kItems; ++k) {
+    sim.At(k * 1.0, [&server, &sim, k] {
+      baseline::Article a;
+      a.id = std::uint64_t(k) + 1;
+      a.created_at = sim.Now();
+      a.body_bytes = kBody;
+      server.Publish(a);
+    });
+  }
+  sim.RunUntilIdle();
+  Result r;
+  const auto& stats = net.StatsFor(server.id());
+  r.publisher_mb = double(stats.bytes_sent) / 1e6;
+  r.publisher_msgs = double(stats.messages_sent);
+  std::uint64_t delivered = 0;
+  for (const auto& c : clients) {
+    delivered += c->received();
+    r.last_delivery_s = std::max(r.last_delivery_s, c->latency().Max());
+  }
+  r.delivered_frac = double(delivered) / double(n * kItems);
+  return r;
+}
+
+Result RunNewswire(std::size_t n) {
+  newswire::SystemConfig cfg;
+  cfg.num_subscribers = n;
+  cfg.num_publishers = 1;
+  cfg.branching = 16;
+  cfg.net.base_latency = 0.04;
+  cfg.net.jitter_frac = 0.2;
+  cfg.net.uplink_bytes_per_sec = kUplink;
+  cfg.catalog_size = 1;  // every subscriber wants every item
+  cfg.subjects_per_subscriber = 1;
+  cfg.body_bytes = kBody;
+  cfg.warm_start = true;
+  cfg.run_gossip = false;  // isolate dissemination traffic
+  cfg.subscriber.repair_interval = 0;
+  cfg.seed = 11;
+  newswire::NewswireSystem sys(cfg);
+  for (int k = 0; k < kItems; ++k) {
+    sys.deployment().sim().At(k * 1.0, [&sys] {
+      sys.PublishArticle(0, sys.catalog()[0]);
+    });
+  }
+  sys.RunFor(120);
+  Result r;
+  const auto& stats = sys.PublisherTraffic(0);
+  r.publisher_mb = double(stats.bytes_sent) / 1e6;
+  r.publisher_msgs = double(stats.messages_sent);
+  r.last_delivery_s = sys.latencies().Max();
+  r.delivered_frac =
+      double(sys.total_delivered()) / double(sys.subscriber_count() * kItems);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E2: publisher egress, direct one-to-many push vs NewsWire (5 items x "
+      "2KB, 1 MB/s publisher uplink)\n\n");
+  util::TablePrinter table({"subscribers", "system", "pub_MB_sent",
+                            "pub_msgs", "last_delivery_s", "delivered%"});
+  for (std::size_t n : {100u, 1000u, 10000u, 50000u}) {
+    Result direct = RunDirectPush(n);
+    table.AddRow({util::TablePrinter::Int(long(n)), "direct-push",
+                  util::TablePrinter::Num(direct.publisher_mb, 2),
+                  util::TablePrinter::Int(long(direct.publisher_msgs)),
+                  util::TablePrinter::Num(direct.last_delivery_s, 2),
+                  util::TablePrinter::Num(100 * direct.delivered_frac, 1)});
+    Result wire = RunNewswire(n);
+    table.AddRow({util::TablePrinter::Int(long(n)), "newswire",
+                  util::TablePrinter::Num(wire.publisher_mb, 2),
+                  util::TablePrinter::Int(long(wire.publisher_msgs)),
+                  util::TablePrinter::Num(wire.last_delivery_s, 2),
+                  util::TablePrinter::Num(100 * wire.delivered_frac, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: direct push grows the publisher's egress linearly with N "
+      "and serializes the fan-out on its uplink (the last subscriber's "
+      "latency grows linearly too). NewsWire's publisher sends only to the "
+      "representatives of the top-level zones, so its egress is flat in N — "
+      "the collaborative overlay carries the rest (paper §2).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// E11 — Zone-scoped and predicate-targeted publishing (paper §8: a
+// publisher can "restrict the scope of the dissemination ... for example
+// ... disseminate localized news items in Asia", and — as a planned
+// feature — attach predicates over child-zone attributes, e.g. "send some
+// item only to premium subscribers").
+//
+// 4095 subscribers (a uniform 16^3 tree), all subscribed to the subject. We publish at every
+// scope depth and report delivery confinement and total network traffic
+// saved versus a root publish; then we attach a premium predicate and
+// report targeting precision.
+#include <cstdio>
+#include <vector>
+
+#include "newswire/system.h"
+#include "util/table_printer.h"
+
+using namespace nw;
+
+namespace {
+
+newswire::SystemConfig BaseConfig() {
+  newswire::SystemConfig cfg;
+  cfg.num_subscribers = 4095;  // +1 publisher = 16^3 exactly: a uniform tree
+  cfg.branching = 16;  // depth 3
+  cfg.catalog_size = 1;
+  cfg.subjects_per_subscriber = 1;
+  cfg.warm_start = true;
+  cfg.run_gossip = false;
+  cfg.subscriber.repair_interval = 0;
+  cfg.subscriber.cache.capacity = 64;
+  cfg.seed = 19;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E11 part 1: zone-scoped publishing — confinement and traffic saved "
+      "(4095 subscribers, everyone subscribed)\n\n");
+  util::TablePrinter t1({"scope_depth", "scope", "recipients",
+                         "outside_leaks", "total_MB", "vs_root%"});
+  double root_mb = 0;
+  for (std::size_t depth : {0u, 1u, 2u}) {
+    newswire::NewswireSystem sys(BaseConfig());
+    sys.RunFor(2);
+    const astrolabe::ZonePath scope =
+        sys.publisher_agent(0).path().Prefix(depth);
+    sys.deployment().net().ResetStats();
+    const std::string id = sys.PublishArticle(0, sys.catalog()[0], scope);
+    sys.RunFor(60);
+    std::size_t recipients = 0, leaks = 0;
+    for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
+      const bool inside = scope.IsPrefixOf(sys.subscriber_agent(i).path());
+      const bool got = sys.subscriber(i).cache().Contains(id);
+      if (got && inside) ++recipients;
+      if (got && !inside) ++leaks;
+    }
+    const double mb =
+        double(sys.deployment().net().TotalStats().bytes_sent) / 1e6;
+    if (depth == 0) root_mb = mb;
+    t1.AddRow({util::TablePrinter::Int(long(depth)), scope.ToString(),
+               util::TablePrinter::Int(long(recipients)),
+               util::TablePrinter::Int(long(leaks)),
+               util::TablePrinter::Num(mb, 2),
+               util::TablePrinter::Num(root_mb > 0 ? 100 * mb / root_mb : 100,
+                                       1)});
+  }
+  t1.Print();
+
+  std::printf(
+      "\nE11 part 2: predicate-targeted delivery (\"premium = 1\"), 25%% "
+      "premium subscribers\n\n");
+  util::TablePrinter t2({"predicate", "premium_reached", "non_premium_leaks",
+                         "total_MB"});
+  for (bool use_pred : {false, true}) {
+    newswire::SystemConfig cfg = BaseConfig();
+    newswire::NewswireSystem sys(cfg);
+    sys.deployment().InstallFunctionEverywhere(
+        "premium", "SELECT MAX(premium) AS premium");
+    std::size_t premium_count = 0;
+    for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
+      if (i % 4 == 0) {
+        sys.subscriber_agent(i).SetLocalAttr("premium", std::int64_t{1});
+        ++premium_count;
+      }
+    }
+    sys.deployment().WarmStart();
+    sys.RunFor(2);
+    sys.deployment().net().ResetStats();
+    newswire::NewsItem item;
+    item.subject = sys.catalog()[0];
+    item.headline = "premium bulletin";
+    if (use_pred) item.forward_predicate = "premium = 1";
+    sys.publisher(0).Publish(item);
+    sys.RunFor(60);
+    std::size_t premium_got = 0, leaks = 0;
+    for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
+      const bool premium = (i % 4 == 0);
+      const bool got = sys.subscriber(i).cache().Contains("pub0#1");
+      if (premium && got) ++premium_got;
+      if (!premium && got) ++leaks;
+    }
+    t2.AddRow({use_pred ? "premium = 1" : "(none)",
+               util::TablePrinter::Int(long(premium_got)) + "/" +
+                   util::TablePrinter::Int(long(premium_count)),
+               util::TablePrinter::Int(long(leaks)),
+               util::TablePrinter::Num(
+                   double(sys.deployment().net().TotalStats().bytes_sent) /
+                       1e6,
+                   2)});
+  }
+  t2.Print();
+  std::printf(
+      "\nReading: scoping to a depth-d zone confines delivery exactly and "
+      "cuts traffic by roughly the zone's share of the tree; the predicate "
+      "extension prunes whole zones without premium subscribers and "
+      "filters precisely at the leaves (paper §8).\n");
+  return 0;
+}

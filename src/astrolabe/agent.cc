@@ -1,0 +1,442 @@
+#include "astrolabe/agent.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "astrolabe/sql/eval.h"
+#include "astrolabe/sql/parser.h"
+#include "util/log.h"
+
+namespace nw::astrolabe {
+
+namespace {
+
+constexpr const char* kGossipType = "astro.gossip";
+constexpr const char* kGossipReplyType = "astro.gossip_reply";
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  for (; ia != a.end(); ++ia, ++ib) {
+    if (ia->first != ib->first || !ia->second.Equals(ib->second)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string DefaultCoreFunctionCode(std::int64_t contacts_per_zone) {
+  // Elect the least-loaded representatives (paper §5: selection "combines
+  // the local knowledge of availability ... the load on those paths and the
+  // load on each node"), count members, and expose mean load upward.
+  return "SELECT TOP(" + std::to_string(contacts_per_zone) +
+         ", contacts ORDER BY load ASC) AS contacts, "
+         "SUM(nmembers) AS nmembers, AVG(load) AS load";
+}
+
+std::size_t Agent::GossipPayload::WireBytes() const {
+  std::size_t n = zone.size() + 8;
+  for (const auto& snap : tables) n += snap.table->WireBytes();
+  for (const auto& cert : certs) n += cert.WireBytes();
+  return n;
+}
+
+Agent::Agent(AgentConfig config) : config_(std::move(config)) {
+  assert(config_.path.Depth() >= 1);
+  tables_.reserve(Depth());
+  for (std::size_t i = 0; i < Depth(); ++i) {
+    tables_.push_back(std::make_shared<Table>());
+  }
+}
+
+Agent::~Agent() = default;
+
+void Agent::Start() {
+  assert(alive() && "add the agent to a network before Start()");
+  started_ = true;
+  if (!mib_.contains(kAttrContacts)) {
+    mib_[kAttrContacts] = ValueList{AttrValue(std::int64_t{id()})};
+  }
+  if (!mib_.contains(kAttrMembers)) mib_[kAttrMembers] = std::int64_t{1};
+  if (!mib_.contains(kAttrLoad)) mib_[kAttrLoad] = 0.0;
+  RefreshOwnRow();
+  RecomputeAggregates();
+  // Desynchronize the first round across agents.
+  Schedule(config_.gossip_period * Rng().NextDouble(), [this] { GossipRound(); });
+}
+
+void Agent::OnRestart() {
+  // Volatile replicas are lost with the process; re-join from seeds.
+  for (auto& t : tables_) t = std::make_shared<Table>();
+  if (started_) {
+    RefreshOwnRow();
+    RecomputeAggregates();
+    Schedule(config_.gossip_period * Rng().NextDouble(),
+             [this] { GossipRound(); });
+  }
+  for (const auto& hook : restart_hooks_) hook();
+}
+
+void Agent::SetLocalAttr(const std::string& name, AttrValue value) {
+  mib_[name] = std::move(value);
+  if (started_ && alive()) {
+    RefreshOwnRow();
+    RecomputeAggregates();
+  }
+}
+
+void Agent::RemoveLocalAttr(const std::string& name) {
+  mib_.erase(name);
+  if (started_ && alive()) {
+    RefreshOwnRow();
+    RecomputeAggregates();
+  }
+}
+
+bool Agent::InstallFunction(const Certificate& cert) {
+  if (cert.kind != CertKind::kFunction) return false;
+  const double now = alive() ? Now() : 0.0;
+  if (ValidateChain(cert, zone_authorities_, config_.trust_root, now) !=
+      CertStatus::kOk) {
+    ++stats_.certs_rejected;
+    return false;
+  }
+  auto code_it = cert.claims.find("code");
+  if (code_it == cert.claims.end()) {
+    ++stats_.certs_rejected;
+    return false;
+  }
+  // Version gate: only upgrade.
+  std::int64_t version = 0;
+  if (auto v = cert.claims.find("version"); v != cert.claims.end()) {
+    version = std::atoll(v->second.c_str());
+  }
+  auto existing = functions_.find(cert.subject);
+  if (existing != functions_.end()) {
+    std::int64_t have = 0;
+    if (auto v = existing->second.cert.claims.find("version");
+        v != existing->second.cert.claims.end()) {
+      have = std::atoll(v->second.c_str());
+    }
+    if (version <= have) return false;  // not newer: ignore silently
+  }
+  sql::Query query;
+  try {
+    query = sql::ParseQuery(code_it->second);
+  } catch (const sql::ParseError& e) {
+    util::LogWarn("agent %s: rejecting unparsable function '%s': %s",
+                  path().ToString().c_str(), cert.subject.c_str(), e.what());
+    ++stats_.certs_rejected;
+    return false;
+  }
+  functions_[cert.subject] = InstalledFunction{cert, std::move(query)};
+  if (started_ && alive()) RecomputeAggregates();
+  return true;
+}
+
+bool Agent::AddZoneAuthority(const Certificate& cert) {
+  if (cert.kind != CertKind::kZoneAuthority) return false;
+  const double now = alive() ? Now() : 0.0;
+  if (ValidateChain(cert, {}, config_.trust_root, now) != CertStatus::kOk) {
+    ++stats_.certs_rejected;
+    return false;
+  }
+  for (const auto& existing : zone_authorities_) {
+    if (existing.subject_key == cert.subject_key) return true;
+  }
+  zone_authorities_.push_back(cert);
+  return true;
+}
+
+std::vector<std::string> Agent::InstalledFunctionNames() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [name, fn] : functions_) names.push_back(name);
+  return names;
+}
+
+Row Agent::ZoneSummary(std::size_t level) const {
+  assert(level < Depth());
+  return AggregateOf(*tables_[level]);
+}
+
+Row Agent::AggregateOf(const Table& table) const {
+  Row out;
+  for (const auto& [name, fn] : functions_) {
+    Row r = sql::EvalQuery(fn.query, table);
+    for (auto& [k, v] : r) out.insert_or_assign(k, std::move(v));
+  }
+  return out;
+}
+
+std::vector<sim::NodeId> Agent::ContactsOf(std::size_t level,
+                                           const std::string& child_key) const {
+  std::vector<sim::NodeId> out;
+  if (level >= Depth()) return out;
+  const RowEntry* entry = tables_[level]->Find(child_key);
+  if (entry == nullptr) return out;
+  auto it = entry->attrs.find(kAttrContacts);
+  if (it == entry->attrs.end() ||
+      it->second.type() != AttrValue::Type::kList) {
+    return out;
+  }
+  for (const AttrValue& v : it->second.AsList()) {
+    if (v.type() == AttrValue::Type::kInt) {
+      out.push_back(static_cast<sim::NodeId>(v.AsInt()));
+    }
+  }
+  return out;
+}
+
+bool Agent::RepresentsAt(std::size_t level) const {
+  assert(level < Depth());
+  if (level + 1 == Depth()) return true;  // leaf table: every member gossips
+  const auto contacts = ContactsOf(level, config_.path.Component(level));
+  return std::find(contacts.begin(), contacts.end(), id()) != contacts.end();
+}
+
+void Agent::RegisterHandler(const std::string& type, Handler handler) {
+  handlers_[type] = std::move(handler);
+}
+
+void Agent::WarmStartTable(std::size_t level, std::shared_ptr<Table> table) {
+  assert(level < Depth());
+  tables_[level] = std::move(table);
+}
+
+void Agent::OnMessage(const sim::Message& msg) {
+  if (msg.type == kGossipType) {
+    HandleGossip(msg, /*reply=*/false);
+    return;
+  }
+  if (msg.type == kGossipReplyType) {
+    HandleGossip(msg, /*reply=*/true);
+    return;
+  }
+  auto it = handlers_.find(msg.type);
+  if (it != handlers_.end()) {
+    it->second(msg);
+  } else {
+    util::LogWarn("agent %s: dropping message of unknown type '%s'",
+                  path().ToString().c_str(), msg.type.c_str());
+  }
+}
+
+namespace {
+// Row versions encode the owner's issue time (milliseconds, high bits) plus
+// a node tiebreak, so any replica can judge how old a row is from the
+// version alone.
+std::uint64_t EncodeVersion(double now, sim::NodeId id) {
+  return (static_cast<std::uint64_t>(now * 1000.0) << 10) |
+         (static_cast<std::uint64_t>(id) & 1023u);
+}
+double VersionTime(std::uint64_t version) {
+  return static_cast<double>(version >> 10) / 1000.0;
+}
+}  // namespace
+
+std::uint64_t Agent::NextVersion() {
+  const double now = alive() ? Now() : 0.0;
+  version_counter_ = std::max(version_counter_ + 1, EncodeVersion(now, id()));
+  return version_counter_;
+}
+
+Table& Agent::MutableTableAt(std::size_t level) {
+  assert(level < Depth());
+  // Copy-on-write: clone if this replica is shared (warm start).
+  if (tables_[level].use_count() > 1) {
+    tables_[level] = std::make_shared<Table>(*tables_[level]);
+  }
+  return *tables_[level];
+}
+
+void Agent::RefreshOwnRow() {
+  const double now = alive() ? Now() : 0.0;
+  Table& leaf_table = MutableTableAt(Depth() - 1);
+  RowEntry& entry = leaf_table.Upsert(config_.path.Leaf());
+  entry.attrs = mib_;
+  entry.version = NextVersion();
+  entry.last_refresh = now;
+}
+
+void Agent::RecomputeAggregates() {
+  const double now = alive() ? Now() : 0.0;
+  // Bottom-up: the summary of the zone at `level` components feeds the
+  // table one level up, like a spreadsheet recomputation (paper §3).
+  for (std::size_t level = Depth() - 1; level >= 1; --level) {
+    Row agg = ZoneSummary(level);
+    const std::string& key = config_.path.Component(level - 1);
+    const RowEntry* current = tables_[level - 1]->Find(key);
+    const bool changed = current == nullptr || !RowsEqual(current->attrs, agg);
+    const bool stale =
+        current != nullptr &&
+        now - current->last_refresh >= config_.gossip_period * 0.5;
+    if (!changed && !stale) continue;
+    Table& parent = MutableTableAt(level - 1);
+    RowEntry& entry = parent.Upsert(key);
+    entry.attrs = std::move(agg);
+    entry.version = NextVersion();
+    entry.last_refresh = now;
+  }
+}
+
+void Agent::ExpireRows() {
+  const double cutoff =
+      Now() - config_.gossip_period * config_.fail_timeout_rounds;
+  if (cutoff <= 0) return;
+  for (std::size_t level = 0; level < Depth(); ++level) {
+    const std::string& keep = config_.path.Component(level);
+    // Probe on the const replica first so a converged shared table is not
+    // cloned needlessly.
+    bool any = false;
+    for (const auto& [key, entry] : *tables_[level]) {
+      if (key != keep && entry.last_refresh < cutoff) {
+        any = true;
+        break;
+      }
+    }
+    if (any) {
+      stats_.rows_expired += MutableTableAt(level).ExpireOlderThan(cutoff, keep);
+    }
+  }
+}
+
+void Agent::GossipRound() {
+  ++stats_.rounds;
+  RefreshOwnRow();
+  RecomputeAggregates();
+  ExpireRows();
+  for (std::size_t level = Depth(); level-- > 0;) {
+    if (!RepresentsAt(level)) continue;
+    DoGossipAt(level);
+  }
+  const double jitter = 0.9 + 0.2 * Rng().NextDouble();
+  Schedule(config_.gossip_period * jitter, [this] { GossipRound(); });
+}
+
+void Agent::DoGossipAt(std::size_t level) {
+  // Candidate partners: contacts of sibling rows in this table.
+  std::vector<sim::NodeId> candidates;
+  const std::string& own_key = config_.path.Component(level);
+  for (const auto& [key, entry] : *tables_[level]) {
+    if (key == own_key) continue;
+    auto it = entry.attrs.find(kAttrContacts);
+    if (it == entry.attrs.end() ||
+        it->second.type() != AttrValue::Type::kList) {
+      continue;
+    }
+    for (const AttrValue& v : it->second.AsList()) {
+      if (v.type() == AttrValue::Type::kInt) {
+        candidates.push_back(static_cast<sim::NodeId>(v.AsInt()));
+      }
+    }
+  }
+  // Seed peers stay in the leaf-level mix permanently: if they were only a
+  // bootstrap fallback, two view-closed groups of agents could gossip among
+  // themselves forever and never merge their membership views.
+  if (level + 1 == Depth()) {
+    for (sim::NodeId s : seeds_) {
+      if (s != id()) candidates.push_back(s);
+    }
+  }
+  if (candidates.empty()) return;
+  const sim::NodeId partner = candidates[Rng().NextBelow(candidates.size())];
+  GossipPayload payload = BuildPayload(level, /*reply=*/false);
+  const std::size_t wire = payload.WireBytes();
+  ++stats_.exchanges_sent;
+  Send(sim::Message::Make(id(), partner, kGossipType, std::move(payload), wire));
+}
+
+Agent::GossipPayload Agent::BuildPayload(std::size_t level, bool reply) const {
+  GossipPayload payload;
+  payload.zone = config_.path.Prefix(level).ToString();
+  payload.reply = reply;
+  // Exchange every table on the common path (root .. level): this is how
+  // aggregated state flows back down to the leaves.
+  for (std::size_t j = 0; j <= level; ++j) {
+    payload.tables.push_back(TableSnapshot{
+        config_.path.Prefix(j).ToString(),
+        std::make_shared<const Table>(*tables_[j])});
+  }
+  payload.certs = zone_authorities_;
+  for (const auto& [name, fn] : functions_) payload.certs.push_back(fn.cert);
+  return payload;
+}
+
+void Agent::HandleGossip(const sim::Message& msg, bool reply) {
+  const auto& payload = msg.As<GossipPayload>();
+  MergeCerts(payload.certs);
+  MergeTables(payload);
+  RecomputeAggregates();
+  if (!reply) {
+    // Push-pull: answer with our view of the deepest common table.
+    std::size_t reply_level = 0;
+    const ZonePath peer_zone = ZonePath::Parse(payload.zone);
+    const std::size_t max_level = std::min(peer_zone.Depth(), Depth() - 1);
+    for (std::size_t j = 1; j <= max_level; ++j) {
+      if (peer_zone.Prefix(j) == config_.path.Prefix(j)) {
+        reply_level = j;
+      } else {
+        break;
+      }
+    }
+    GossipPayload out = BuildPayload(reply_level, /*reply=*/true);
+    const std::size_t wire = out.WireBytes();
+    Send(sim::Message::Make(id(), msg.from, kGossipReplyType, std::move(out),
+                            wire));
+  }
+}
+
+void Agent::MergeTables(const GossipPayload& payload) {
+  const double now = Now();
+  for (const auto& snap : payload.tables) {
+    const ZonePath zone = ZonePath::Parse(snap.zone);
+    const std::size_t level = zone.Depth();
+    if (level >= Depth()) continue;
+    if (!(config_.path.Prefix(level) == zone)) continue;  // not on our path
+    // Probe before COW: skip snapshots that change nothing.
+    bool any_newer = false;
+    for (const auto& [key, entry] : *snap.table) {
+      const RowEntry* mine = tables_[level]->Find(key);
+      if (mine == nullptr || entry.version > mine->version) {
+        any_newer = true;
+        break;
+      }
+    }
+    if (!any_newer) continue;
+    Table& local = MutableTableAt(level);
+    const double stale_cutoff =
+        now - config_.gossip_period * config_.fail_timeout_rounds;
+    for (const auto& [key, entry] : *snap.table) {
+      if (level + 1 == Depth() && key == config_.path.Leaf()) {
+        continue;  // we alone author our MIB row
+      }
+      // Deletion stability: a row we evicted (or never had) must not be
+      // resurrected by a peer that still carries a stale copy. The issue
+      // time embedded in the version tells us whether the owner is still
+      // refreshing it.
+      if (!local.Has(key) && VersionTime(entry.version) < stale_cutoff) {
+        continue;
+      }
+      if (local.MergeEntry(key, entry, now)) ++stats_.rows_merged;
+    }
+  }
+}
+
+void Agent::MergeCerts(const std::vector<Certificate>& certs) {
+  for (const Certificate& cert : certs) {
+    switch (cert.kind) {
+      case CertKind::kZoneAuthority:
+        AddZoneAuthority(cert);
+        break;
+      case CertKind::kFunction:
+        InstallFunction(cert);
+        break;
+      default:
+        break;  // other kinds are not gossiped by the agent layer
+    }
+  }
+}
+
+}  // namespace nw::astrolabe

@@ -1,0 +1,179 @@
+// The Astrolabe agent (paper §3): one per machine. Owns the machine's MIB
+// row, replicates the zone tables on its path to the root, gossips them
+// epidemically, recomputes aggregation functions whenever child tables
+// change, detects failures by row expiry, and spreads signed
+// aggregation-function certificates as mobile code.
+//
+// Table replicas are held through shared_ptr with copy-on-write so that a
+// converged system (e.g. the 100k-leaf dissemination experiments, which
+// warm-start the replicas) shares one physical table per zone.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "astrolabe/cert.h"
+#include "astrolabe/sql/ast.h"
+#include "astrolabe/table.h"
+#include "astrolabe/zone_path.h"
+#include "sim/network.h"
+
+namespace nw::astrolabe {
+
+struct AgentConfig {
+  ZonePath path;                  // full leaf path, depth >= 1
+  double gossip_period = 2.0;     // seconds between rounds
+  double fail_timeout_rounds = 6; // row expiry, in units of gossip_period
+  std::int64_t contacts_per_zone = 3;  // representatives per zone (paper §5)
+  PublicKey trust_root = 0;       // anchor for certificate validation
+};
+
+// Well-known attribute names maintained by the agent itself.
+inline constexpr const char* kAttrContacts = "contacts";   // list<int NodeId>
+inline constexpr const char* kAttrMembers = "nmembers";    // int
+inline constexpr const char* kAttrLoad = "load";           // double
+
+// The default aggregation function installed in every zone: elects the
+// k least-loaded contacts as zone representatives and counts members.
+std::string DefaultCoreFunctionCode(std::int64_t contacts_per_zone);
+
+class Agent : public sim::Node {
+ public:
+  explicit Agent(AgentConfig config);
+  ~Agent() override;
+
+  // Begins gossip; must be called after the node is added to the network.
+  void Start();
+
+  // ---- Local MIB -------------------------------------------------------
+  void SetLocalAttr(const std::string& name, AttrValue value);
+  void RemoveLocalAttr(const std::string& name);
+  const Row& LocalRow() const { return mib_; }
+
+  // ---- Mobile code -----------------------------------------------------
+  // Installs an aggregation function carried by a kFunction certificate
+  // (claim "code" holds the SQL). Returns false (and installs nothing) if
+  // the chain does not validate or the code does not parse.
+  bool InstallFunction(const Certificate& cert);
+  // Adds a zone-authority certificate to the local trust store (validated
+  // against the trust root first).
+  bool AddZoneAuthority(const Certificate& cert);
+  std::vector<std::string> InstalledFunctionNames() const;
+
+  // ---- Introspection / queries ------------------------------------------
+  const AgentConfig& config() const { return config_; }
+  const ZonePath& path() const { return config_.path; }
+  std::size_t Depth() const { return config_.path.Depth(); }
+
+  // Table of the zone with `level` path components (0 = root table).
+  // level must be < Depth().
+  const Table& TableAt(std::size_t level) const { return *tables_[level]; }
+
+  // Locally evaluated summary row of the zone with `level` components;
+  // level == 0 gives the whole-system (root) summary.
+  Row ZoneSummary(std::size_t level) const;
+
+  // Evaluates every installed aggregation function over an arbitrary
+  // table (used by the warm-start path to precompute converged replicas).
+  Row AggregateOf(const Table& table) const;
+
+  // Representatives of a child row of the level-`level` table, resolved
+  // from its "contacts" attribute. Empty if unknown.
+  std::vector<sim::NodeId> ContactsOf(std::size_t level,
+                                      const std::string& child_key) const;
+
+  // True if this agent currently represents its child zone in the
+  // level-`level` table (always true at the deepest level).
+  bool RepresentsAt(std::size_t level) const;
+
+  // ---- Application messaging ---------------------------------------------
+  // Upper layers (multicast, pub/sub, news) register handlers for their
+  // message types; all non-gossip messages are dispatched through these.
+  using Handler = std::function<void(const sim::Message&)>;
+  void RegisterHandler(const std::string& type, Handler handler);
+
+  // Invoked after a simulated process restart, so layers composed onto the
+  // agent (caches, repair timers) can reset their volatile state and
+  // reschedule their timers.
+  void AddRestartHook(std::function<void()> hook) {
+    restart_hooks_.push_back(std::move(hook));
+  }
+  using sim::Node::Send;  // expose for the layers composed onto this agent
+  using sim::Node::Schedule;
+  using sim::Node::Now;
+  using sim::Node::Rng;
+
+  // Peers used to re-join after a restart or when tables are empty.
+  void SetSeedPeers(std::vector<sim::NodeId> seeds) { seeds_ = std::move(seeds); }
+
+  // ---- Warm start --------------------------------------------------------
+  // Directly installs a (shared) replica of a zone table, as if gossip had
+  // already converged. Used by large-scale experiments to skip the O(N)
+  // convergence phase they do not measure.
+  void WarmStartTable(std::size_t level, std::shared_ptr<Table> table);
+
+  // ---- Stats -------------------------------------------------------------
+  struct GossipStats {
+    std::uint64_t rounds = 0;
+    std::uint64_t exchanges_sent = 0;
+    std::uint64_t rows_merged = 0;
+    std::uint64_t rows_expired = 0;
+    std::uint64_t certs_rejected = 0;
+  };
+  const GossipStats& gossip_stats() const { return stats_; }
+
+  // sim::Node
+  void OnMessage(const sim::Message& msg) override;
+  void OnRestart() override;
+
+ private:
+  struct InstalledFunction {
+    Certificate cert;
+    sql::Query query;
+  };
+
+  struct TableSnapshot {
+    std::string zone;  // path of the zone this table belongs to
+    std::shared_ptr<const Table> table;
+  };
+  struct GossipPayload {
+    std::string zone;  // path of the zone whose table level anchors this
+    bool reply = false;
+    std::vector<TableSnapshot> tables;
+    std::vector<Certificate> certs;  // zone authorities + functions
+    std::size_t WireBytes() const;
+  };
+
+  void GossipRound();
+  void RefreshOwnRow();
+  void RecomputeAggregates();
+  void ExpireRows();
+  void DoGossipAt(std::size_t level);
+  void HandleGossip(const sim::Message& msg, bool reply);
+  void MergeTables(const GossipPayload& payload);
+  void MergeCerts(const std::vector<Certificate>& certs);
+  GossipPayload BuildPayload(std::size_t level, bool reply) const;
+  std::uint64_t NextVersion();
+
+  // Copy-on-write access to a table replica.
+  Table& MutableTableAt(std::size_t level);
+
+  AgentConfig config_;
+  Row mib_;
+  std::vector<std::shared_ptr<Table>> tables_;  // size == Depth()
+  std::map<std::string, InstalledFunction> functions_;
+  std::vector<Certificate> zone_authorities_;
+  std::map<std::string, Handler> handlers_;
+  std::vector<std::function<void()>> restart_hooks_;
+  std::vector<sim::NodeId> seeds_;
+  std::uint64_t version_counter_ = 0;
+  bool started_ = false;
+  GossipStats stats_;
+};
+
+}  // namespace nw::astrolabe

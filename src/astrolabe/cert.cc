@@ -1,0 +1,105 @@
+#include "astrolabe/cert.h"
+
+namespace nw::astrolabe {
+
+using util::Fnv1a64;
+using util::HashCombine;
+using util::Mix64;
+
+PublicKey DerivePublic(PrivateKey priv) { return Mix64(priv ^ 0xa5a5a5a5a5a5a5a5ull); }
+
+KeyPair GenerateKeyPair(util::DeterministicRng& rng) {
+  KeyPair kp;
+  kp.priv = rng.NextU64();
+  kp.pub = DerivePublic(kp.priv);
+  return kp;
+}
+
+Signature SignDigest(PrivateKey priv, std::uint64_t digest) {
+  return HashCombine(DerivePublic(priv), digest);
+}
+
+bool VerifyDigest(PublicKey pub, std::uint64_t digest, Signature sig) {
+  return sig == HashCombine(pub, digest);
+}
+
+std::uint64_t Certificate::Digest() const {
+  std::uint64_t h = Fnv1a64(subject);
+  h = HashCombine(h, static_cast<std::uint64_t>(kind));
+  h = HashCombine(h, subject_key);
+  for (const auto& [k, v] : claims) {
+    h = HashCombine(h, Fnv1a64(k));
+    h = HashCombine(h, Fnv1a64(v));
+  }
+  h = HashCombine(h, static_cast<std::uint64_t>(not_before * 1e6));
+  h = HashCombine(h, static_cast<std::uint64_t>(not_after * 1e6));
+  h = HashCombine(h, issuer);
+  return h;
+}
+
+bool Certificate::VerifySignature() const {
+  return VerifyDigest(issuer, Digest(), signature);
+}
+
+std::size_t Certificate::WireBytes() const {
+  std::size_t n = 64 + subject.size();
+  for (const auto& [k, v] : claims) n += k.size() + v.size() + 4;
+  return n;
+}
+
+const char* CertKindName(CertKind k) noexcept {
+  switch (k) {
+    case CertKind::kZoneAuthority: return "zone-authority";
+    case CertKind::kAgent: return "agent";
+    case CertKind::kFunction: return "function";
+    case CertKind::kPublisher: return "publisher";
+  }
+  return "?";
+}
+
+Certificate Authority::Issue(CertKind kind, std::string subject,
+                             PublicKey subject_key,
+                             std::map<std::string, std::string> claims,
+                             double not_before, double not_after) const {
+  Certificate c;
+  c.kind = kind;
+  c.subject = std::move(subject);
+  c.subject_key = subject_key;
+  c.claims = std::move(claims);
+  c.not_before = not_before;
+  c.not_after = not_after;
+  c.issuer = keys_.pub;
+  c.signature = SignDigest(keys_.priv, c.Digest());
+  return c;
+}
+
+const char* CertStatusName(CertStatus s) noexcept {
+  switch (s) {
+    case CertStatus::kOk: return "ok";
+    case CertStatus::kBadSignature: return "bad-signature";
+    case CertStatus::kExpired: return "expired";
+    case CertStatus::kNotYetValid: return "not-yet-valid";
+    case CertStatus::kUntrustedIssuer: return "untrusted-issuer";
+  }
+  return "?";
+}
+
+CertStatus ValidateChain(const Certificate& cert,
+                         const std::vector<Certificate>& intermediates,
+                         PublicKey root, double now) {
+  if (!cert.VerifySignature()) return CertStatus::kBadSignature;
+  if (now < cert.not_before) return CertStatus::kNotYetValid;
+  if (now > cert.not_after) return CertStatus::kExpired;
+  if (cert.issuer == root) return CertStatus::kOk;
+  for (const Certificate& inter : intermediates) {
+    if (inter.kind != CertKind::kZoneAuthority) continue;
+    if (inter.subject_key != cert.issuer) continue;
+    // One level of intermediates suffices for the zone hierarchy we model;
+    // recursion would allow deeper chains.
+    const CertStatus s = ValidateChain(inter, {}, root, now);
+    if (s == CertStatus::kOk) return CertStatus::kOk;
+  }
+  return CertStatus::kUntrustedIssuer;
+}
+
+}  // namespace nw::astrolabe

@@ -1,0 +1,107 @@
+// Simulated certificate infrastructure (paper §3: "secure, through
+// pervasive use of certificates"; §8: publisher authentication).
+//
+// The *structure* of a PKI is implemented faithfully — key pairs, signed
+// certificates, issuance chains (root authority -> zone authority ->
+// agent / aggregation-function certificates), expiry, and validation on
+// receipt. The cryptographic primitive is a keyed-hash simulation (this
+// repository is built offline, without a crypto library): signatures detect
+// any tampering with certified content and any issuer whose public key is
+// not in the trust chain, which is exactly what the reproduced experiments
+// exercise. It is NOT secure against an adversary who knows the scheme.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace nw::astrolabe {
+
+using PublicKey = std::uint64_t;
+using PrivateKey = std::uint64_t;
+using Signature = std::uint64_t;
+
+struct KeyPair {
+  PublicKey pub = 0;
+  PrivateKey priv = 0;
+};
+
+KeyPair GenerateKeyPair(util::DeterministicRng& rng);
+
+// Derives the public key of a private key (the simulation's one-way map).
+PublicKey DerivePublic(PrivateKey priv);
+
+Signature SignDigest(PrivateKey priv, std::uint64_t digest);
+bool VerifyDigest(PublicKey pub, std::uint64_t digest, Signature sig);
+
+enum class CertKind {
+  kZoneAuthority,  // names a zone's signing key; issued by the root
+  kAgent,          // admits an agent (with key) into a zone; issued by zone
+  kFunction,       // carries aggregation-function code; issued by zone
+  kPublisher,      // authorizes a publisher identity; issued by zone
+};
+
+struct Certificate {
+  CertKind kind = CertKind::kAgent;
+  std::string subject;                       // agent/zone/function name
+  PublicKey subject_key = 0;                 // key being certified (if any)
+  std::map<std::string, std::string> claims; // e.g. {"code": "...SQL..."}
+  double not_before = 0;
+  double not_after = 0;
+  PublicKey issuer = 0;
+  Signature signature = 0;
+
+  // Canonical digest over every field except the signature.
+  std::uint64_t Digest() const;
+
+  // Signature check only (no chain walk, no expiry).
+  bool VerifySignature() const;
+
+  // Approximate serialized size for bandwidth accounting.
+  std::size_t WireBytes() const;
+};
+
+const char* CertKindName(CertKind k) noexcept;
+
+// Issues and validates certificates for one authority key.
+class Authority {
+ public:
+  Authority(std::string name, KeyPair keys)
+      : name_(std::move(name)), keys_(keys) {}
+
+  const std::string& name() const noexcept { return name_; }
+  PublicKey public_key() const noexcept { return keys_.pub; }
+
+  Certificate Issue(CertKind kind, std::string subject, PublicKey subject_key,
+                    std::map<std::string, std::string> claims,
+                    double not_before, double not_after) const;
+
+ private:
+  std::string name_;
+  KeyPair keys_;
+};
+
+// Validation failure reasons, surfaced so tests can assert the exact cause.
+enum class CertStatus {
+  kOk,
+  kBadSignature,
+  kExpired,
+  kNotYetValid,
+  kUntrustedIssuer,
+};
+
+const char* CertStatusName(CertStatus s) noexcept;
+
+// Validates `cert` at time `now` against a trust set: either the cert is
+// signed directly by `root`, or by an issuer whose own kZoneAuthority
+// certificate (in `intermediates`) chains to `root`.
+CertStatus ValidateChain(const Certificate& cert,
+                         const std::vector<Certificate>& intermediates,
+                         PublicKey root, double now);
+
+}  // namespace nw::astrolabe

@@ -1,0 +1,113 @@
+// AST for the aggregation-function dialect (paper §3: "aggregation
+// functions, which are expressions in SQL that take any number of
+// attributes from the child table and produce new attributes").
+//
+// Grammar (case-insensitive keywords):
+//   query       := SELECT item (',' item)* [WHERE expr]
+//   item        := agg [AS ident]
+//   agg         := MIN|MAX|SUM|AVG|OR|AND '(' expr ')'
+//                | COUNT '(' ('*' | expr) ')'
+//                | FIRST '(' int ',' expr ')'
+//                | TOP '(' int ',' expr ORDER BY expr [ASC|DESC] ')'
+//   expr        := disjunction of comparisons over +,-,*,/,% with literals,
+//                  attribute references and builtin calls
+//                  (BIT, CONTAINS, LEN, COALESCE, IF, MINOF, MAXOF, ISNULL)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "astrolabe/value.h"
+
+namespace nw::astrolabe::sql {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,   // value
+  kAttrRef,   // name
+  kUnaryNeg,  // args[0]
+  kNot,       // args[0]
+  kBinary,    // op, args[0], args[1]
+  kCall,      // name (builtin), args
+};
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+struct Expr {
+  ExprKind kind;
+  AttrValue literal;            // kLiteral
+  std::string name;             // kAttrRef / kCall
+  BinOp op = BinOp::kAdd;       // kBinary
+  std::vector<ExprPtr> args;
+
+  static ExprPtr Literal(AttrValue v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kLiteral;
+    e->literal = std::move(v);
+    return e;
+  }
+  static ExprPtr Attr(std::string name) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kAttrRef;
+    e->name = std::move(name);
+    return e;
+  }
+  static ExprPtr Unary(ExprKind kind, ExprPtr inner) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->args.push_back(std::move(inner));
+    return e;
+  }
+  static ExprPtr Binary(BinOp op, ExprPtr l, ExprPtr r) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->op = op;
+    e->args.push_back(std::move(l));
+    e->args.push_back(std::move(r));
+    return e;
+  }
+  static ExprPtr Call(std::string name, std::vector<ExprPtr> args) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kCall;
+    e->name = std::move(name);
+    e->args = std::move(args);
+    return e;
+  }
+};
+
+enum class AggKind {
+  kMin, kMax, kSum, kAvg, kCount, kCountStar, kOrBits, kAndBits,
+  kFirst,  // FIRST(k, expr): first k scalar values across rows, lists flatten
+  kTop,    // TOP(k, expr ORDER BY key [DESC])
+};
+
+struct SelectItem {
+  AggKind agg;
+  std::int64_t k = 0;          // FIRST / TOP
+  ExprPtr arg;                 // null for COUNT(*)
+  ExprPtr order_by;            // TOP only
+  bool descending = false;     // TOP only
+  std::string out_name;
+};
+
+struct Query {
+  std::vector<SelectItem> items;
+  ExprPtr where;  // may be null
+};
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace nw::astrolabe::sql

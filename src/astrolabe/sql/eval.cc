@@ -1,0 +1,385 @@
+#include "astrolabe/sql/eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace nw::astrolabe::sql {
+
+namespace {
+
+bool IsNull(const AttrValue& v) { return v.IsNull(); }
+
+AttrValue EvalBinary(BinOp op, const AttrValue& l, const AttrValue& r) {
+  // Logical operators get (SQL-ish) short-circuit-like null handling:
+  // false AND null = false, true OR null = true.
+  if (op == BinOp::kAnd || op == BinOp::kOr) {
+    auto as_tri = [](const AttrValue& v) -> int {  // -1 null, 0 false, 1 true
+      if (v.IsNull()) return -1;
+      return v.AsBool() ? 1 : 0;
+    };
+    const int a = as_tri(l);
+    const int b = as_tri(r);
+    if (op == BinOp::kAnd) {
+      if (a == 0 || b == 0) return AttrValue(false);
+      if (a == -1 || b == -1) return AttrValue();
+      return AttrValue(true);
+    }
+    if (a == 1 || b == 1) return AttrValue(true);
+    if (a == -1 || b == -1) return AttrValue();
+    return AttrValue(false);
+  }
+
+  if (IsNull(l) || IsNull(r)) return AttrValue();
+
+  switch (op) {
+    case BinOp::kAdd:
+      if (l.type() == AttrValue::Type::kString ||
+          r.type() == AttrValue::Type::kString) {
+        return AttrValue(l.AsString() + r.AsString());
+      }
+      if (l.type() == AttrValue::Type::kInt &&
+          r.type() == AttrValue::Type::kInt) {
+        return AttrValue(l.AsInt() + r.AsInt());
+      }
+      return AttrValue(l.AsDouble() + r.AsDouble());
+    case BinOp::kSub:
+      if (l.type() == AttrValue::Type::kInt &&
+          r.type() == AttrValue::Type::kInt) {
+        return AttrValue(l.AsInt() - r.AsInt());
+      }
+      return AttrValue(l.AsDouble() - r.AsDouble());
+    case BinOp::kMul:
+      if (l.type() == AttrValue::Type::kInt &&
+          r.type() == AttrValue::Type::kInt) {
+        return AttrValue(l.AsInt() * r.AsInt());
+      }
+      return AttrValue(l.AsDouble() * r.AsDouble());
+    case BinOp::kDiv: {
+      const double d = r.AsDouble();
+      if (d == 0.0) return AttrValue();  // division by zero -> null
+      return AttrValue(l.AsDouble() / d);
+    }
+    case BinOp::kMod: {
+      const std::int64_t d = r.AsInt();
+      if (d == 0) return AttrValue();
+      return AttrValue(l.AsInt() % d);
+    }
+    case BinOp::kEq: return AttrValue(l.Equals(r));
+    case BinOp::kNe: return AttrValue(!l.Equals(r));
+    case BinOp::kLt: return AttrValue(l.Compare(r) < 0);
+    case BinOp::kLe: return AttrValue(l.Compare(r) <= 0);
+    case BinOp::kGt: return AttrValue(l.Compare(r) > 0);
+    case BinOp::kGe: return AttrValue(l.Compare(r) >= 0);
+    case BinOp::kAnd:
+    case BinOp::kOr:
+      break;  // handled above
+  }
+  return AttrValue();
+}
+
+AttrValue EvalCall(const Expr& expr, const Row& row);
+
+}  // namespace
+
+AttrValue EvalScalar(const Expr& expr, const Row& row) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kAttrRef: {
+      auto it = row.find(expr.name);
+      return it == row.end() ? AttrValue() : it->second;
+    }
+    case ExprKind::kUnaryNeg: {
+      AttrValue v = EvalScalar(*expr.args[0], row);
+      if (v.IsNull()) return v;
+      if (v.type() == AttrValue::Type::kInt) return AttrValue(-v.AsInt());
+      return AttrValue(-v.AsDouble());
+    }
+    case ExprKind::kNot: {
+      AttrValue v = EvalScalar(*expr.args[0], row);
+      if (v.IsNull()) return v;
+      return AttrValue(!v.AsBool());
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(expr.op, EvalScalar(*expr.args[0], row),
+                        EvalScalar(*expr.args[1], row));
+    case ExprKind::kCall:
+      return EvalCall(expr, row);
+  }
+  return AttrValue();
+}
+
+namespace {
+
+AttrValue EvalCall(const Expr& expr, const Row& row) {
+  std::string fn = expr.name;
+  for (char& c : fn) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+
+  auto arity = [&](std::size_t n) {
+    if (expr.args.size() != n) {
+      throw TypeError("builtin " + fn + " expects " + std::to_string(n) +
+                      " argument(s)");
+    }
+  };
+
+  if (fn == "bit") {
+    // BIT(bits, i): true iff bit i is set. Out-of-range -> false.
+    arity(2);
+    AttrValue bits = EvalScalar(*expr.args[0], row);
+    AttrValue idx = EvalScalar(*expr.args[1], row);
+    if (bits.IsNull() || idx.IsNull()) return AttrValue();
+    const std::int64_t i = idx.AsInt();
+    const BitVector& bv = bits.AsBits();
+    if (i < 0 || static_cast<std::size_t>(i) >= bv.size()) {
+      return AttrValue(false);
+    }
+    return AttrValue(bv.Test(static_cast<std::size_t>(i)));
+  }
+  if (fn == "contains") {
+    // CONTAINS(list, v) or CONTAINS(string, substring).
+    arity(2);
+    AttrValue hay = EvalScalar(*expr.args[0], row);
+    AttrValue needle = EvalScalar(*expr.args[1], row);
+    if (hay.IsNull() || needle.IsNull()) return AttrValue();
+    if (hay.type() == AttrValue::Type::kString) {
+      return AttrValue(hay.AsString().find(needle.AsString()) !=
+                       std::string::npos);
+    }
+    for (const auto& v : hay.AsList()) {
+      if (v.Equals(needle)) return AttrValue(true);
+    }
+    return AttrValue(false);
+  }
+  if (fn == "len") {
+    arity(1);
+    AttrValue v = EvalScalar(*expr.args[0], row);
+    if (v.IsNull()) return AttrValue();
+    switch (v.type()) {
+      case AttrValue::Type::kString:
+        return AttrValue(static_cast<std::int64_t>(v.AsString().size()));
+      case AttrValue::Type::kList:
+        return AttrValue(static_cast<std::int64_t>(v.AsList().size()));
+      case AttrValue::Type::kBits:
+        return AttrValue(static_cast<std::int64_t>(v.AsBits().PopCount()));
+      default:
+        throw TypeError("LEN expects string, list or bits");
+    }
+  }
+  if (fn == "coalesce") {
+    for (const auto& arg : expr.args) {
+      AttrValue v = EvalScalar(*arg, row);
+      if (!v.IsNull()) return v;
+    }
+    return AttrValue();
+  }
+  if (fn == "if") {
+    arity(3);
+    AttrValue c = EvalScalar(*expr.args[0], row);
+    if (c.IsNull()) return AttrValue();
+    return EvalScalar(c.AsBool() ? *expr.args[1] : *expr.args[2], row);
+  }
+  if (fn == "minof" || fn == "maxof") {
+    arity(2);
+    AttrValue a = EvalScalar(*expr.args[0], row);
+    AttrValue b = EvalScalar(*expr.args[1], row);
+    if (a.IsNull()) return b;
+    if (b.IsNull()) return a;
+    const int c = a.Compare(b);
+    if (fn == "minof") return c <= 0 ? a : b;
+    return c >= 0 ? a : b;
+  }
+  if (fn == "isnull") {
+    arity(1);
+    return AttrValue(EvalScalar(*expr.args[0], row).IsNull());
+  }
+  throw TypeError("unknown builtin function '" + expr.name + "'");
+}
+
+// Aggregation accumulator over the (filtered) rows of a table.
+struct Accumulator {
+  const SelectItem& item;
+  std::size_t row_count = 0;       // rows passing WHERE
+  std::size_t value_count = 0;     // non-null inputs
+  AttrValue extreme;               // MIN/MAX running value
+  double sum_d = 0;
+  std::int64_t sum_i = 0;
+  bool all_int = true;
+  BitVector bits;                  // OR/AND over bit vectors
+  std::int64_t mask = 0;           // OR/AND over ints
+  bool mask_mode = false;
+  bool and_first = true;
+  ValueList collected;             // FIRST
+  std::vector<std::pair<AttrValue, AttrValue>> keyed;  // TOP: (key, value)
+
+  explicit Accumulator(const SelectItem& i) : item(i) {}
+
+  void AddRow(const Row& row) {
+    ++row_count;
+    if (item.agg == AggKind::kCountStar) return;
+    AttrValue v;
+    try {
+      v = EvalScalar(*item.arg, row);
+    } catch (const TypeError&) {
+      return;  // heterogeneous rows: skip
+    }
+    if (v.IsNull()) return;
+    try {
+      Feed(v, row);
+    } catch (const TypeError&) {
+      // Mixed-type columns: skip offending rows.
+    }
+  }
+
+  void Feed(const AttrValue& v, const Row& row) {
+    switch (item.agg) {
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        if (value_count == 0) {
+          extreme = v;
+        } else {
+          const int c = v.Compare(extreme);
+          if ((item.agg == AggKind::kMin && c < 0) ||
+              (item.agg == AggKind::kMax && c > 0)) {
+            extreme = v;
+          }
+        }
+        break;
+      }
+      case AggKind::kSum:
+      case AggKind::kAvg: {
+        if (v.type() == AttrValue::Type::kInt) {
+          sum_i += v.AsInt();
+        } else {
+          all_int = false;
+        }
+        sum_d += v.AsDouble();
+        break;
+      }
+      case AggKind::kCount:
+        break;  // value_count tracks it
+      case AggKind::kOrBits:
+      case AggKind::kAndBits: {
+        if (v.type() == AttrValue::Type::kInt) {
+          mask_mode = true;
+          if (item.agg == AggKind::kOrBits) {
+            mask |= v.AsInt();
+          } else {
+            mask = and_first ? v.AsInt() : (mask & v.AsInt());
+          }
+        } else {
+          const BitVector& bv = v.AsBits();
+          if (item.agg == AggKind::kOrBits) {
+            bits |= bv;
+          } else {
+            if (and_first) {
+              bits = bv;
+            } else {
+              bits &= bv;
+            }
+          }
+        }
+        and_first = false;
+        break;
+      }
+      case AggKind::kFirst: {
+        if (static_cast<std::int64_t>(collected.size()) >= item.k) break;
+        if (v.type() == AttrValue::Type::kList) {
+          for (const auto& elem : v.AsList()) {
+            if (static_cast<std::int64_t>(collected.size()) >= item.k) break;
+            collected.push_back(elem);
+          }
+        } else {
+          collected.push_back(v);
+        }
+        break;
+      }
+      case AggKind::kTop: {
+        AttrValue key = EvalScalar(*item.order_by, row);
+        if (key.IsNull()) return;
+        keyed.emplace_back(std::move(key), v);
+        break;
+      }
+      case AggKind::kCountStar:
+        break;  // handled in AddRow
+    }
+    ++value_count;
+  }
+
+  // Produces the final value; null means "omit the attribute".
+  AttrValue Finish() {
+    switch (item.agg) {
+      case AggKind::kCountStar:
+        return AttrValue(static_cast<std::int64_t>(row_count));
+      case AggKind::kCount:
+        return AttrValue(static_cast<std::int64_t>(value_count));
+      case AggKind::kMin:
+      case AggKind::kMax:
+        return value_count ? extreme : AttrValue();
+      case AggKind::kSum:
+        if (value_count == 0) return AttrValue(std::int64_t{0});
+        return all_int ? AttrValue(sum_i) : AttrValue(sum_d);
+      case AggKind::kAvg:
+        return value_count ? AttrValue(sum_d / double(value_count))
+                           : AttrValue();
+      case AggKind::kOrBits:
+      case AggKind::kAndBits:
+        if (value_count == 0) return AttrValue();
+        return mask_mode ? AttrValue(mask) : AttrValue(bits);
+      case AggKind::kFirst:
+        return AttrValue(std::move(collected));
+      case AggKind::kTop: {
+        std::stable_sort(keyed.begin(), keyed.end(),
+                         [this](const auto& a, const auto& b) {
+                           const int c = a.first.Compare(b.first);
+                           return item.descending ? c > 0 : c < 0;
+                         });
+        ValueList out;
+        for (const auto& [key, val] : keyed) {
+          if (static_cast<std::int64_t>(out.size()) >= item.k) break;
+          if (val.type() == AttrValue::Type::kList) {
+            for (const auto& elem : val.AsList()) {
+              if (static_cast<std::int64_t>(out.size()) >= item.k) break;
+              out.push_back(elem);
+            }
+          } else {
+            out.push_back(val);
+          }
+        }
+        return AttrValue(std::move(out));
+      }
+    }
+    return AttrValue();
+  }
+};
+
+}  // namespace
+
+bool EvalPredicate(const Expr& expr, const Row& row) {
+  try {
+    AttrValue v = EvalScalar(expr, row);
+    return !v.IsNull() && v.AsBool();
+  } catch (const TypeError&) {
+    return false;
+  }
+}
+
+Row EvalQuery(const Query& query, const Table& table) {
+  std::vector<Accumulator> accs;
+  accs.reserve(query.items.size());
+  for (const auto& item : query.items) accs.emplace_back(item);
+
+  for (const auto& [key, entry] : table) {
+    if (query.where && !EvalPredicate(*query.where, entry.attrs)) continue;
+    for (auto& acc : accs) acc.AddRow(entry.attrs);
+  }
+
+  Row out;
+  for (auto& acc : accs) {
+    AttrValue v = acc.Finish();
+    if (!v.IsNull()) out[acc.item.out_name] = std::move(v);
+  }
+  return out;
+}
+
+}  // namespace nw::astrolabe::sql

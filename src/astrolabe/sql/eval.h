@@ -1,0 +1,26 @@
+// Evaluator for aggregation queries and scalar predicates.
+//
+// Null semantics (SQL-like, simplified):
+//  * a reference to a missing attribute yields null;
+//  * any operator with a null operand yields null;
+//  * rows whose aggregated expression is null (or type-errors) are skipped;
+//  * a null or type-erroring WHERE / predicate counts as false.
+#pragma once
+
+#include "astrolabe/sql/ast.h"
+#include "astrolabe/table.h"
+
+namespace nw::astrolabe::sql {
+
+// Evaluates a scalar expression against one row. Missing attributes yield
+// null; genuine type mismatches throw TypeError.
+AttrValue EvalScalar(const Expr& expr, const Row& row);
+
+// Predicate evaluation: null and type errors map to false.
+bool EvalPredicate(const Expr& expr, const Row& row);
+
+// Evaluates an aggregation query over a table, producing the summary row
+// that the zone contributes to its parent (paper §3).
+Row EvalQuery(const Query& query, const Table& table);
+
+}  // namespace nw::astrolabe::sql

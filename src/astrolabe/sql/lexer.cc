@@ -1,0 +1,195 @@
+#include "astrolabe/sql/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "astrolabe/sql/ast.h"
+
+namespace nw::astrolabe::sql {
+
+namespace {
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+const std::unordered_map<std::string, TokKind>& Keywords() {
+  static const std::unordered_map<std::string, TokKind> kw = {
+      {"select", TokKind::kSelect}, {"as", TokKind::kAs},
+      {"where", TokKind::kWhere},   {"and", TokKind::kAnd},
+      {"or", TokKind::kOr},         {"not", TokKind::kNot},
+      {"true", TokKind::kTrue},     {"false", TokKind::kFalse},
+      {"null", TokKind::kNull},     {"order", TokKind::kOrder},
+      {"by", TokKind::kBy},         {"asc", TokKind::kAsc},
+      {"desc", TokKind::kDesc},     {"min", TokKind::kMin},
+      {"max", TokKind::kMax},       {"sum", TokKind::kSum},
+      {"avg", TokKind::kAvg},       {"count", TokKind::kCount},
+      {"first", TokKind::kFirst},   {"top", TokKind::kTop},
+  };
+  return kw;
+}
+
+[[noreturn]] void Fail(std::size_t pos, const std::string& what) {
+  throw ParseError("lex error at offset " + std::to_string(pos) + ": " + what);
+}
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < n ? src[i + off] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.pos = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                       src[i] == '_' || src[i] == '.')) {
+        ++i;
+      }
+      const std::string word = Lower(src.substr(start, i - start));
+      auto it = Keywords().find(word);
+      if (it != Keywords().end()) {
+        t.kind = it->second;
+      } else {
+        t.kind = TokKind::kIdent;
+        t.text = std::string(src.substr(start, i - start));
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        std::size_t save = i;
+        ++i;
+        if (peek() == '+' || peek() == '-') ++i;
+        if (std::isdigit(static_cast<unsigned char>(peek()))) {
+          is_double = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+        } else {
+          i = save;
+        }
+      }
+      const std::string num(src.substr(start, i - start));
+      if (is_double) {
+        t.kind = TokKind::kDouble;
+        t.dbl_val = std::stod(num);
+      } else {
+        t.kind = TokKind::kInt;
+        t.int_val = std::stoll(num);
+      }
+    } else if (c == '\'') {
+      ++i;
+      std::string body;
+      while (i < n && src[i] != '\'') {
+        body += src[i];
+        ++i;
+      }
+      if (i >= n) Fail(t.pos, "unterminated string literal");
+      ++i;  // closing quote
+      t.kind = TokKind::kString;
+      t.text = std::move(body);
+    } else {
+      switch (c) {
+        case '(': t.kind = TokKind::kLParen; ++i; break;
+        case ')': t.kind = TokKind::kRParen; ++i; break;
+        case ',': t.kind = TokKind::kComma; ++i; break;
+        case '*': t.kind = TokKind::kStar; ++i; break;
+        case '+': t.kind = TokKind::kPlus; ++i; break;
+        case '-': t.kind = TokKind::kMinus; ++i; break;
+        case '/': t.kind = TokKind::kSlash; ++i; break;
+        case '%': t.kind = TokKind::kPercent; ++i; break;
+        case '=':
+          t.kind = TokKind::kEq;
+          i += (peek(1) == '=') ? 2 : 1;
+          break;
+        case '!':
+          if (peek(1) != '=') Fail(i, "expected '=' after '!'");
+          t.kind = TokKind::kNe;
+          i += 2;
+          break;
+        case '<':
+          if (peek(1) == '=') { t.kind = TokKind::kLe; i += 2; }
+          else if (peek(1) == '>') { t.kind = TokKind::kNe; i += 2; }
+          else { t.kind = TokKind::kLt; ++i; }
+          break;
+        case '>':
+          if (peek(1) == '=') { t.kind = TokKind::kGe; i += 2; }
+          else { t.kind = TokKind::kGt; ++i; }
+          break;
+        default:
+          Fail(i, std::string("unexpected character '") + c + "'");
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.pos = n;
+  out.push_back(end);
+  return out;
+}
+
+const char* TokKindName(TokKind k) noexcept {
+  switch (k) {
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kInt: return "int";
+    case TokKind::kDouble: return "double";
+    case TokKind::kString: return "string";
+    case TokKind::kSelect: return "SELECT";
+    case TokKind::kAs: return "AS";
+    case TokKind::kWhere: return "WHERE";
+    case TokKind::kAnd: return "AND";
+    case TokKind::kOr: return "OR";
+    case TokKind::kNot: return "NOT";
+    case TokKind::kTrue: return "TRUE";
+    case TokKind::kFalse: return "FALSE";
+    case TokKind::kNull: return "NULL";
+    case TokKind::kOrder: return "ORDER";
+    case TokKind::kBy: return "BY";
+    case TokKind::kAsc: return "ASC";
+    case TokKind::kDesc: return "DESC";
+    case TokKind::kMin: return "MIN";
+    case TokKind::kMax: return "MAX";
+    case TokKind::kSum: return "SUM";
+    case TokKind::kAvg: return "AVG";
+    case TokKind::kCount: return "COUNT";
+    case TokKind::kFirst: return "FIRST";
+    case TokKind::kTop: return "TOP";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kComma: return "','";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kPercent: return "'%'";
+    case TokKind::kEq: return "'='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace nw::astrolabe::sql

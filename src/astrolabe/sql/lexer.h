@@ -1,0 +1,37 @@
+// Tokenizer for the aggregation SQL dialect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nw::astrolabe::sql {
+
+enum class TokKind {
+  kIdent, kInt, kDouble, kString,
+  // keywords
+  kSelect, kAs, kWhere, kAnd, kOr, kNot, kTrue, kFalse, kNull,
+  kOrder, kBy, kAsc, kDesc,
+  kMin, kMax, kSum, kAvg, kCount, kFirst, kTop,
+  // punctuation / operators
+  kLParen, kRParen, kComma, kStar,
+  kPlus, kMinus, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;     // identifier / string literal body
+  std::int64_t int_val = 0;
+  double dbl_val = 0;
+  std::size_t pos = 0;  // byte offset, for error messages
+};
+
+// Tokenizes the full input; throws ParseError on malformed input.
+std::vector<Token> Lex(std::string_view src);
+
+const char* TokKindName(TokKind k) noexcept;
+
+}  // namespace nw::astrolabe::sql

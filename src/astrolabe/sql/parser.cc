@@ -1,0 +1,283 @@
+#include "astrolabe/sql/parser.h"
+#include <cctype>
+
+#include <utility>
+
+#include "astrolabe/sql/lexer.h"
+
+namespace nw::astrolabe::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : toks_(Lex(src)) {}
+
+  Query ParseQuery() {
+    Expect(TokKind::kSelect);
+    Query q;
+    q.items.push_back(ParseSelectItem());
+    while (Accept(TokKind::kComma)) q.items.push_back(ParseSelectItem());
+    if (Accept(TokKind::kWhere)) q.where = ParseExpr();
+    Expect(TokKind::kEnd);
+    // Assign default output names and reject duplicates.
+    for (std::size_t i = 0; i < q.items.size(); ++i) {
+      auto& item = q.items[i];
+      if (item.out_name.empty()) {
+        if (item.arg && item.arg->kind == ExprKind::kAttrRef) {
+          item.out_name = item.arg->name;
+        } else {
+          item.out_name = "col" + std::to_string(i);
+        }
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        if (q.items[j].out_name == item.out_name) {
+          throw ParseError("duplicate output column '" + item.out_name + "'");
+        }
+      }
+    }
+    return q;
+  }
+
+  ExprPtr ParseStandaloneExpr() {
+    ExprPtr e = ParseExpr();
+    Expect(TokKind::kEnd);
+    return e;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+
+  bool Check(TokKind k) const { return Cur().kind == k; }
+
+  bool Accept(TokKind k) {
+    if (Check(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Token Expect(TokKind k) {
+    if (!Check(k)) {
+      throw ParseError(std::string("expected ") + TokKindName(k) + " but got " +
+                       TokKindName(Cur().kind) + " at offset " +
+                       std::to_string(Cur().pos));
+    }
+    return toks_[pos_++];
+  }
+
+  SelectItem ParseSelectItem() {
+    SelectItem item;
+    switch (Cur().kind) {
+      case TokKind::kMin: item.agg = AggKind::kMin; break;
+      case TokKind::kMax: item.agg = AggKind::kMax; break;
+      case TokKind::kSum: item.agg = AggKind::kSum; break;
+      case TokKind::kAvg: item.agg = AggKind::kAvg; break;
+      case TokKind::kOr: item.agg = AggKind::kOrBits; break;
+      case TokKind::kAnd: item.agg = AggKind::kAndBits; break;
+      case TokKind::kCount: item.agg = AggKind::kCount; break;
+      case TokKind::kFirst: item.agg = AggKind::kFirst; break;
+      case TokKind::kTop: item.agg = AggKind::kTop; break;
+      default:
+        throw ParseError(std::string("expected aggregation function, got ") +
+                         TokKindName(Cur().kind) + " at offset " +
+                         std::to_string(Cur().pos));
+    }
+    ++pos_;
+    Expect(TokKind::kLParen);
+    switch (item.agg) {
+      case AggKind::kCount:
+        if (Accept(TokKind::kStar)) {
+          item.agg = AggKind::kCountStar;
+        } else {
+          item.arg = ParseExpr();
+        }
+        break;
+      case AggKind::kFirst: {
+        item.k = Expect(TokKind::kInt).int_val;
+        Expect(TokKind::kComma);
+        item.arg = ParseExpr();
+        break;
+      }
+      case AggKind::kTop: {
+        item.k = Expect(TokKind::kInt).int_val;
+        Expect(TokKind::kComma);
+        item.arg = ParseExpr();
+        Expect(TokKind::kOrder);
+        Expect(TokKind::kBy);
+        item.order_by = ParseExpr();
+        if (Accept(TokKind::kDesc)) {
+          item.descending = true;
+        } else {
+          Accept(TokKind::kAsc);
+        }
+        break;
+      }
+      default:
+        item.arg = ParseExpr();
+        break;
+    }
+    if ((item.agg == AggKind::kFirst || item.agg == AggKind::kTop) &&
+        item.k <= 0) {
+      throw ParseError("FIRST/TOP count must be positive");
+    }
+    Expect(TokKind::kRParen);
+    if (Accept(TokKind::kAs)) item.out_name = ExpectName();
+    return item;
+  }
+
+  // Output names may collide with keywords (e.g. "AS avg"); accept both.
+  std::string ExpectName() {
+    if (Check(TokKind::kIdent)) return toks_[pos_++].text;
+    const TokKind k = Cur().kind;
+    if (k == TokKind::kMin || k == TokKind::kMax || k == TokKind::kSum ||
+        k == TokKind::kAvg || k == TokKind::kCount || k == TokKind::kFirst ||
+        k == TokKind::kTop) {
+      std::string name = TokKindName(k);
+      for (char& c : name) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      ++pos_;
+      return name;
+    }
+    Expect(TokKind::kIdent);  // throws with a useful message
+    return {};
+  }
+
+  ExprPtr ParseExpr() { return ParseOr(); }
+
+  ExprPtr ParseOr() {
+    ExprPtr lhs = ParseAnd();
+    while (Accept(TokKind::kOr)) {
+      lhs = Expr::Binary(BinOp::kOr, std::move(lhs), ParseAnd());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr lhs = ParseNot();
+    while (Accept(TokKind::kAnd)) {
+      lhs = Expr::Binary(BinOp::kAnd, std::move(lhs), ParseNot());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseNot() {
+    if (Accept(TokKind::kNot)) {
+      return Expr::Unary(ExprKind::kNot, ParseNot());
+    }
+    return ParseComparison();
+  }
+
+  ExprPtr ParseComparison() {
+    ExprPtr lhs = ParseAdditive();
+    BinOp op;
+    switch (Cur().kind) {
+      case TokKind::kEq: op = BinOp::kEq; break;
+      case TokKind::kNe: op = BinOp::kNe; break;
+      case TokKind::kLt: op = BinOp::kLt; break;
+      case TokKind::kLe: op = BinOp::kLe; break;
+      case TokKind::kGt: op = BinOp::kGt; break;
+      case TokKind::kGe: op = BinOp::kGe; break;
+      default: return lhs;
+    }
+    ++pos_;
+    return Expr::Binary(op, std::move(lhs), ParseAdditive());
+  }
+
+  ExprPtr ParseAdditive() {
+    ExprPtr lhs = ParseMultiplicative();
+    for (;;) {
+      if (Accept(TokKind::kPlus)) {
+        lhs = Expr::Binary(BinOp::kAdd, std::move(lhs), ParseMultiplicative());
+      } else if (Accept(TokKind::kMinus)) {
+        lhs = Expr::Binary(BinOp::kSub, std::move(lhs), ParseMultiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr ParseMultiplicative() {
+    ExprPtr lhs = ParseUnary();
+    for (;;) {
+      if (Accept(TokKind::kStar)) {
+        lhs = Expr::Binary(BinOp::kMul, std::move(lhs), ParseUnary());
+      } else if (Accept(TokKind::kSlash)) {
+        lhs = Expr::Binary(BinOp::kDiv, std::move(lhs), ParseUnary());
+      } else if (Accept(TokKind::kPercent)) {
+        lhs = Expr::Binary(BinOp::kMod, std::move(lhs), ParseUnary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr ParseUnary() {
+    if (Accept(TokKind::kMinus)) {
+      return Expr::Unary(ExprKind::kUnaryNeg, ParseUnary());
+    }
+    return ParsePrimary();
+  }
+
+  ExprPtr ParsePrimary() {
+    const Token& t = Cur();
+    switch (t.kind) {
+      case TokKind::kInt:
+        ++pos_;
+        return Expr::Literal(AttrValue(t.int_val));
+      case TokKind::kDouble:
+        ++pos_;
+        return Expr::Literal(AttrValue(t.dbl_val));
+      case TokKind::kString:
+        ++pos_;
+        return Expr::Literal(AttrValue(t.text));
+      case TokKind::kTrue:
+        ++pos_;
+        return Expr::Literal(AttrValue(true));
+      case TokKind::kFalse:
+        ++pos_;
+        return Expr::Literal(AttrValue(false));
+      case TokKind::kNull:
+        ++pos_;
+        return Expr::Literal(AttrValue());
+      case TokKind::kLParen: {
+        ++pos_;
+        ExprPtr e = ParseExpr();
+        Expect(TokKind::kRParen);
+        return e;
+      }
+      case TokKind::kIdent: {
+        ++pos_;
+        std::string name = t.text;
+        if (Accept(TokKind::kLParen)) {
+          std::vector<ExprPtr> args;
+          if (!Check(TokKind::kRParen)) {
+            args.push_back(ParseExpr());
+            while (Accept(TokKind::kComma)) args.push_back(ParseExpr());
+          }
+          Expect(TokKind::kRParen);
+          return Expr::Call(std::move(name), std::move(args));
+        }
+        return Expr::Attr(std::move(name));
+      }
+      default:
+        throw ParseError(std::string("unexpected ") + TokKindName(t.kind) +
+                         " at offset " + std::to_string(t.pos));
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Query ParseQuery(std::string_view src) { return Parser(src).ParseQuery(); }
+
+ExprPtr ParseExpression(std::string_view src) {
+  return Parser(src).ParseStandaloneExpr();
+}
+
+}  // namespace nw::astrolabe::sql

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the aggregation SQL dialect.
+#pragma once
+
+#include <string_view>
+
+#include "astrolabe/sql/ast.h"
+
+namespace nw::astrolabe::sql {
+
+// Parses a full aggregation query ("SELECT ... [WHERE ...]").
+// Throws ParseError on malformed input.
+Query ParseQuery(std::string_view src);
+
+// Parses a standalone scalar expression (used for subscription predicates
+// and publisher targeting predicates). Throws ParseError.
+ExprPtr ParseExpression(std::string_view src);
+
+}  // namespace nw::astrolabe::sql

@@ -1,0 +1,124 @@
+#include "astrolabe/sql/printer.h"
+
+namespace nw::astrolabe::sql {
+
+namespace {
+
+const char* BinOpText(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+std::string LiteralText(const AttrValue& v) {
+  switch (v.type()) {
+    case AttrValue::Type::kNull: return "NULL";
+    case AttrValue::Type::kBool: return v.AsBool() ? "TRUE" : "FALSE";
+    case AttrValue::Type::kInt: return std::to_string(v.AsInt());
+    case AttrValue::Type::kDouble: {
+      // Print with enough precision to round-trip, and force a decimal
+      // point so it re-lexes as a double.
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      std::string s = buf;
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case AttrValue::Type::kString: return "'" + v.AsString() + "'";
+    default:
+      // Bits/lists cannot appear as source literals.
+      return v.ToString();
+  }
+}
+
+const char* AggName(AggKind agg) {
+  switch (agg) {
+    case AggKind::kMin: return "MIN";
+    case AggKind::kMax: return "MAX";
+    case AggKind::kSum: return "SUM";
+    case AggKind::kAvg: return "AVG";
+    case AggKind::kCount:
+    case AggKind::kCountStar: return "COUNT";
+    case AggKind::kOrBits: return "OR";
+    case AggKind::kAndBits: return "AND";
+    case AggKind::kFirst: return "FIRST";
+    case AggKind::kTop: return "TOP";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ToString(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return LiteralText(expr.literal);
+    case ExprKind::kAttrRef:
+      return expr.name;
+    case ExprKind::kUnaryNeg:
+      return "(-" + ToString(*expr.args[0]) + ")";
+    case ExprKind::kNot:
+      return "(NOT " + ToString(*expr.args[0]) + ")";
+    case ExprKind::kBinary:
+      return "(" + ToString(*expr.args[0]) + " " + BinOpText(expr.op) + " " +
+             ToString(*expr.args[1]) + ")";
+    case ExprKind::kCall: {
+      std::string out = expr.name + "(";
+      for (std::size_t i = 0; i < expr.args.size(); ++i) {
+        if (i) out += ", ";
+        out += ToString(*expr.args[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::string ToString(const Query& query) {
+  std::string out = "SELECT ";
+  for (std::size_t i = 0; i < query.items.size(); ++i) {
+    const SelectItem& item = query.items[i];
+    if (i) out += ", ";
+    out += AggName(item.agg);
+    out += "(";
+    switch (item.agg) {
+      case AggKind::kCountStar:
+        out += "*";
+        break;
+      case AggKind::kFirst:
+        out += std::to_string(item.k) + ", " + ToString(*item.arg);
+        break;
+      case AggKind::kTop:
+        out += std::to_string(item.k) + ", " + ToString(*item.arg) +
+               " ORDER BY " + ToString(*item.order_by) +
+               (item.descending ? " DESC" : " ASC");
+        break;
+      default:
+        out += ToString(*item.arg);
+        break;
+    }
+    out += ") AS " + item.out_name;
+  }
+  if (query.where) out += " WHERE " + ToString(*query.where);
+  return out;
+}
+
+}  // namespace nw::astrolabe::sql

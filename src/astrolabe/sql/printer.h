@@ -1,0 +1,19 @@
+// Pretty-printer for the aggregation SQL AST: produces canonical text
+// that re-parses to an equivalent tree (used for debugging, for showing
+// installed functions, and by the parse/print round-trip tests).
+#pragma once
+
+#include <string>
+
+#include "astrolabe/sql/ast.h"
+
+namespace nw::astrolabe::sql {
+
+// Canonical text of a scalar expression (fully parenthesized except for
+// atoms, so operator precedence never changes meaning on re-parse).
+std::string ToString(const Expr& expr);
+
+// Canonical text of a full query.
+std::string ToString(const Query& query);
+
+}  // namespace nw::astrolabe::sql

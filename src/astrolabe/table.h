@@ -1,0 +1,101 @@
+// Zone tables: the "collection of hierarchical database tables" of §3.
+// A Table holds one row per child zone (or per agent, at the deepest
+// level). Rows carry owner versions for gossip merging and a local refresh
+// time for failure detection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "astrolabe/value.h"
+
+namespace nw::astrolabe {
+
+// Attribute map. std::map gives deterministic iteration order, which the
+// simulator relies on for replayability.
+using Row = std::map<std::string, AttrValue>;
+
+inline std::size_t RowWireBytes(const Row& row) {
+  std::size_t n = 8;
+  for (const auto& [k, v] : row) n += k.size() + 2 + v.WireBytes();
+  return n;
+}
+
+// A versioned row as stored in a table replica.
+struct RowEntry {
+  Row attrs;
+  // Owner-issued version; strictly increasing per row owner. Gossip keeps
+  // the entry with the larger version.
+  std::uint64_t version = 0;
+  // Local wall-clock (sim time) when this entry last changed version; rows
+  // that are not refreshed within the failure timeout are evicted.
+  double last_refresh = 0;
+};
+
+class Table {
+ public:
+  using Map = std::map<std::string, RowEntry>;
+
+  bool Has(const std::string& key) const { return rows_.contains(key); }
+
+  const RowEntry* Find(const std::string& key) const {
+    auto it = rows_.find(key);
+    return it == rows_.end() ? nullptr : &it->second;
+  }
+
+  RowEntry& Upsert(const std::string& key) { return rows_[key]; }
+
+  void Erase(const std::string& key) { rows_.erase(key); }
+
+  // Merges one remote entry; returns true if it replaced/added local state.
+  bool MergeEntry(const std::string& key, const RowEntry& incoming,
+                  double now) {
+    auto it = rows_.find(key);
+    if (it == rows_.end()) {
+      RowEntry e = incoming;
+      e.last_refresh = now;
+      rows_.emplace(key, std::move(e));
+      return true;
+    }
+    if (incoming.version > it->second.version) {
+      it->second.attrs = incoming.attrs;
+      it->second.version = incoming.version;
+      it->second.last_refresh = now;
+      return true;
+    }
+    return false;
+  }
+
+  // Drops rows whose last refresh is older than `cutoff`, except `keep`
+  // (the caller's own row, which it alone refreshes).
+  std::size_t ExpireOlderThan(double cutoff, const std::string& keep) {
+    std::size_t evicted = 0;
+    for (auto it = rows_.begin(); it != rows_.end();) {
+      if (it->first != keep && it->second.last_refresh < cutoff) {
+        it = rows_.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+    return evicted;
+  }
+
+  std::size_t size() const noexcept { return rows_.size(); }
+  bool empty() const noexcept { return rows_.empty(); }
+  Map::const_iterator begin() const { return rows_.begin(); }
+  Map::const_iterator end() const { return rows_.end(); }
+
+  std::size_t WireBytes() const {
+    std::size_t n = 8;
+    for (const auto& [k, e] : rows_) n += k.size() + 10 + RowWireBytes(e.attrs);
+    return n;
+  }
+
+ private:
+  Map rows_;
+};
+
+}  // namespace nw::astrolabe

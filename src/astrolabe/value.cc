@@ -1,0 +1,155 @@
+#include "astrolabe/value.h"
+
+#include <cmath>
+
+namespace nw::astrolabe {
+
+namespace {
+[[noreturn]] void ThrowType(const char* want, AttrValue::Type got) {
+  throw TypeError(std::string("expected ") + want + ", got " + TypeName(got));
+}
+}  // namespace
+
+const char* TypeName(AttrValue::Type t) noexcept {
+  switch (t) {
+    case AttrValue::Type::kNull: return "null";
+    case AttrValue::Type::kBool: return "bool";
+    case AttrValue::Type::kInt: return "int";
+    case AttrValue::Type::kDouble: return "double";
+    case AttrValue::Type::kString: return "string";
+    case AttrValue::Type::kBits: return "bits";
+    case AttrValue::Type::kList: return "list";
+  }
+  return "?";
+}
+
+bool AttrValue::AsBool() const {
+  if (auto* b = std::get_if<bool>(&v_)) return *b;
+  ThrowType("bool", type());
+}
+
+std::int64_t AttrValue::AsInt() const {
+  if (auto* i = std::get_if<std::int64_t>(&v_)) return *i;
+  ThrowType("int", type());
+}
+
+double AttrValue::AsDouble() const {
+  if (auto* d = std::get_if<double>(&v_)) return *d;
+  if (auto* i = std::get_if<std::int64_t>(&v_)) return static_cast<double>(*i);
+  ThrowType("double", type());
+}
+
+const std::string& AttrValue::AsString() const {
+  if (auto* s = std::get_if<std::string>(&v_)) return *s;
+  ThrowType("string", type());
+}
+
+const BitVector& AttrValue::AsBits() const {
+  if (auto* b = std::get_if<BitVector>(&v_)) return *b;
+  ThrowType("bits", type());
+}
+
+BitVector& AttrValue::MutableBits() {
+  if (auto* b = std::get_if<BitVector>(&v_)) return *b;
+  ThrowType("bits", type());
+}
+
+const ValueList& AttrValue::AsList() const {
+  if (auto* l = std::get_if<ValueList>(&v_)) return *l;
+  ThrowType("list", type());
+}
+
+int AttrValue::Compare(const AttrValue& other) const {
+  if (IsNumeric() && other.IsNumeric()) {
+    const double a = AsDouble();
+    const double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type() != other.type()) {
+    throw TypeError(std::string("cannot compare ") + TypeName(type()) +
+                    " with " + TypeName(other.type()));
+  }
+  switch (type()) {
+    case Type::kNull:
+      return 0;
+    case Type::kBool: {
+      const int a = AsBool() ? 1 : 0;
+      const int b = other.AsBool() ? 1 : 0;
+      return a - b;
+    }
+    case Type::kString: {
+      const int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      throw TypeError(std::string("type ") + TypeName(type()) +
+                      " is not ordered");
+  }
+}
+
+bool AttrValue::Equals(const AttrValue& other) const {
+  if (IsNumeric() && other.IsNumeric()) return AsDouble() == other.AsDouble();
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case Type::kNull: return true;
+    case Type::kBool: return AsBool() == other.AsBool();
+    case Type::kString: return AsString() == other.AsString();
+    case Type::kBits: return AsBits() == other.AsBits();
+    case Type::kList: {
+      const auto& a = AsList();
+      const auto& b = other.AsList();
+      if (a.size() != b.size()) return false;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!a[i].Equals(b[i])) return false;
+      }
+      return true;
+    }
+    default: return false;  // unreachable: int/double handled above
+  }
+}
+
+std::string AttrValue::ToString() const {
+  switch (type()) {
+    case Type::kNull: return "null";
+    case Type::kBool: return AsBool() ? "true" : "false";
+    case Type::kInt: return std::to_string(AsInt());
+    case Type::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case Type::kString: return "'" + AsString() + "'";
+    case Type::kBits: return AsBits().ToString();
+    case Type::kList: {
+      std::string s = "[";
+      const auto& l = AsList();
+      for (std::size_t i = 0; i < l.size(); ++i) {
+        if (i) s += ',';
+        s += l[i].ToString();
+      }
+      return s + "]";
+    }
+  }
+  return "?";
+}
+
+std::size_t AttrValue::WireBytes() const {
+  switch (type()) {
+    case Type::kNull: return 1;
+    case Type::kBool: return 1;
+    case Type::kInt: return 8;
+    case Type::kDouble: return 8;
+    case Type::kString: return 2 + AsString().size();
+    case Type::kBits: return AsBits().WireBytes();
+    case Type::kList: {
+      std::size_t n = 2;
+      for (const auto& v : AsList()) n += v.WireBytes();
+      return n;
+    }
+  }
+  return 1;
+}
+
+}  // namespace nw::astrolabe

@@ -1,0 +1,73 @@
+// AttrValue: the dynamically typed value stored in Astrolabe MIB attributes
+// and produced by aggregation functions. Paper §3: rows hold "a time-varying
+// list of attributes exported by the machine ... containing any sort of
+// value".
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "astrolabe/bitvector.h"
+
+namespace nw::astrolabe {
+
+class AttrValue;
+using ValueList = std::vector<AttrValue>;
+
+class AttrValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kBits, kList };
+
+  AttrValue() = default;
+  AttrValue(bool b) : v_(b) {}                       // NOLINT(runtime/explicit)
+  AttrValue(std::int64_t i) : v_(i) {}               // NOLINT(runtime/explicit)
+  AttrValue(int i) : v_(std::int64_t{i}) {}          // NOLINT(runtime/explicit)
+  AttrValue(double d) : v_(d) {}                     // NOLINT(runtime/explicit)
+  AttrValue(std::string s) : v_(std::move(s)) {}     // NOLINT(runtime/explicit)
+  AttrValue(const char* s) : v_(std::string(s)) {}   // NOLINT(runtime/explicit)
+  AttrValue(BitVector b) : v_(std::move(b)) {}       // NOLINT(runtime/explicit)
+  AttrValue(ValueList l) : v_(std::move(l)) {}       // NOLINT(runtime/explicit)
+
+  Type type() const noexcept { return static_cast<Type>(v_.index()); }
+  bool IsNull() const noexcept { return type() == Type::kNull; }
+  bool IsNumeric() const noexcept {
+    return type() == Type::kInt || type() == Type::kDouble;
+  }
+
+  bool AsBool() const;
+  std::int64_t AsInt() const;
+  double AsDouble() const;           // accepts int or double
+  const std::string& AsString() const;
+  const BitVector& AsBits() const;
+  const ValueList& AsList() const;
+  BitVector& MutableBits();
+
+  // Total order within same type; numerics compare cross int/double.
+  // Throws TypeError for incomparable types.
+  int Compare(const AttrValue& other) const;
+
+  bool Equals(const AttrValue& other) const;
+
+  std::string ToString() const;
+
+  // Approximate serialized size, used by the simulator's bandwidth model.
+  std::size_t WireBytes() const;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string,
+               BitVector, ValueList>
+      v_;
+};
+
+// Raised on attribute type mismatches during aggregation evaluation.
+class TypeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+const char* TypeName(AttrValue::Type t) noexcept;
+
+}  // namespace nw::astrolabe

@@ -1,0 +1,100 @@
+// Zone naming. A zone is identified by a slash path, e.g. "/", "/usa",
+// "/usa/ithaca", "/usa/ithaca/node7". The paper (§3) models zones as a
+// DNS-like hierarchy of tables; every agent owns one leaf zone.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nw::astrolabe {
+
+class ZonePath {
+ public:
+  ZonePath() = default;  // root "/"
+
+  // Parses "/a/b/c". Accepts "/" for root. Components must be non-empty
+  // and slash-free.
+  static ZonePath Parse(std::string_view path) {
+    ZonePath z;
+    assert(!path.empty() && path.front() == '/');
+    std::size_t pos = 1;
+    while (pos < path.size()) {
+      std::size_t next = path.find('/', pos);
+      if (next == std::string_view::npos) next = path.size();
+      assert(next > pos);
+      z.components_.emplace_back(path.substr(pos, next - pos));
+      pos = next + 1;
+    }
+    return z;
+  }
+
+  static ZonePath Root() { return ZonePath(); }
+
+  bool IsRoot() const noexcept { return components_.empty(); }
+  std::size_t Depth() const noexcept { return components_.size(); }
+
+  const std::string& Component(std::size_t i) const {
+    assert(i < components_.size());
+    return components_[i];
+  }
+
+  const std::string& Leaf() const {
+    assert(!components_.empty());
+    return components_.back();
+  }
+
+  ZonePath Parent() const {
+    assert(!IsRoot());
+    ZonePath p = *this;
+    p.components_.pop_back();
+    return p;
+  }
+
+  ZonePath Child(std::string name) const {
+    ZonePath c = *this;
+    c.components_.push_back(std::move(name));
+    return c;
+  }
+
+  // The prefix of this path with `depth` components (depth <= Depth()).
+  ZonePath Prefix(std::size_t depth) const {
+    assert(depth <= Depth());
+    ZonePath p;
+    p.components_.assign(components_.begin(),
+                         components_.begin() + static_cast<long>(depth));
+    return p;
+  }
+
+  // True if this zone is `other` or an ancestor of `other`.
+  bool IsPrefixOf(const ZonePath& other) const {
+    if (Depth() > other.Depth()) return false;
+    for (std::size_t i = 0; i < Depth(); ++i) {
+      if (components_[i] != other.components_[i]) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const {
+    if (components_.empty()) return "/";
+    std::string s;
+    for (const auto& c : components_) {
+      s += '/';
+      s += c;
+    }
+    return s;
+  }
+
+  friend bool operator==(const ZonePath& a, const ZonePath& b) {
+    return a.components_ == b.components_;
+  }
+  friend bool operator!=(const ZonePath& a, const ZonePath& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<std::string> components_;
+};
+
+}  // namespace nw::astrolabe

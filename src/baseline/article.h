@@ -1,0 +1,18 @@
+// A published article as seen by the baseline (centralized) delivery
+// models. Bodies are modeled by size; headlines by a small summary size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nw::baseline {
+
+struct Article {
+  std::uint64_t id = 0;         // monotone per server
+  double created_at = 0;
+  std::size_t body_bytes = 2048;
+  std::size_t summary_bytes = 96;  // headline + URL (RSS channel entry)
+  std::string subject;
+};
+
+}  // namespace nw::baseline

@@ -1,0 +1,152 @@
+#include "baseline/pull.h"
+
+#include <algorithm>
+
+namespace nw::baseline {
+
+const char* PullModeName(PullMode mode) noexcept {
+  switch (mode) {
+    case PullMode::kFullPage: return "full-page";
+    case PullMode::kRssSummary: return "rss-summary";
+    case PullMode::kDeltaSince: return "delta-since";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t ResponseWireBytes(const PullServer::Response& resp) {
+  std::size_t n = 16;
+  for (const Article& a : resp.articles) {
+    n += resp.summaries ? a.summary_bytes : a.body_bytes;
+  }
+  return n;
+}
+
+}  // namespace
+
+const Article& PullServer::AddArticle(std::size_t body_bytes,
+                                      std::size_t summary_bytes,
+                                      std::string subject) {
+  Article a;
+  a.id = next_id_++;
+  a.created_at = Now();
+  a.body_bytes = body_bytes;
+  a.summary_bytes = summary_bytes;
+  a.subject = std::move(subject);
+  articles_.push_back(std::move(a));
+  return articles_.back();
+}
+
+void PullServer::OnMessage(const sim::Message& msg) {
+  if (msg.type != kRequestType) return;
+  const auto& req = msg.As<Request>();
+  ++stats_.requests;
+
+  Response resp;
+  const std::size_t page_start =
+      articles_.size() > front_page_size_ ? articles_.size() - front_page_size_
+                                          : 0;
+  switch (req.mode) {
+    case PullMode::kFullPage:
+      if (req.bodies_only) {
+        // RSS follow-up: bodies of front-page articles newer than last_seen.
+        for (std::size_t i = page_start; i < articles_.size(); ++i) {
+          if (articles_[i].id > req.last_seen_id) {
+            resp.articles.push_back(articles_[i]);
+          }
+        }
+      } else {
+        resp.articles.assign(articles_.begin() + page_start, articles_.end());
+      }
+      break;
+    case PullMode::kRssSummary:
+      resp.summaries = true;
+      resp.articles.assign(articles_.begin() + page_start, articles_.end());
+      break;
+    case PullMode::kDeltaSince: {
+      for (std::size_t i = page_start; i < articles_.size(); ++i) {
+        if (articles_[i].id > req.last_seen_id) {
+          resp.articles.push_back(articles_[i]);
+        }
+      }
+      if (resp.articles.empty()) {
+        resp.not_modified = true;  // 304 Not Modified
+        ++stats_.not_modified;
+      }
+      break;
+    }
+  }
+  const std::size_t wire = resp.not_modified ? 4 : ResponseWireBytes(resp);
+  stats_.response_bytes += wire;
+  Send(sim::Message::Make(id(), msg.from, kResponseType, std::move(resp),
+                          wire));
+}
+
+void PullClient::Start() {
+  Schedule(config_.start_offset, [this] { Poll(); });
+}
+
+void PullClient::Poll() {
+  ++stats_.polls;
+  PullServer::Request req;
+  req.mode = config_.mode == PullMode::kRssSummary ? PullMode::kRssSummary
+                                                   : config_.mode;
+  req.last_seen_id = max_seen_;
+  Send(sim::Message::Make(id(), config_.server, PullServer::kRequestType, req,
+                          32));
+  Schedule(config_.poll_interval, [this] { Poll(); });
+}
+
+void PullClient::OnMessage(const sim::Message& msg) {
+  if (msg.type != PullServer::kResponseType) return;
+  const auto& resp = msg.As<PullServer::Response>();
+  if (resp.not_modified) {
+    stats_.bytes_received += 4;
+    return;
+  }
+  std::uint64_t fresh_max = max_seen_;
+  bool any_new = false;
+  for (const Article& a : resp.articles) {
+    const std::size_t bytes = resp.summaries ? a.summary_bytes : a.body_bytes;
+    stats_.bytes_received += bytes;
+    if (seen_.contains(a.id)) {
+      stats_.redundant_bytes += bytes;
+      continue;
+    }
+    any_new = true;
+    fresh_max = std::max(fresh_max, a.id);
+    if (!resp.summaries) {
+      // Body in hand: the article is now "seen".
+      seen_.insert(a.id);
+      ++stats_.new_articles;
+      stats_.staleness.Add(Now() - a.created_at);
+    }
+  }
+  if (resp.summaries && any_new) {
+    // RSS model: the summary told us something is new; fetch the bodies.
+    PullServer::Request req;
+    req.mode = PullMode::kFullPage;
+    req.bodies_only = true;
+    req.last_seen_id = max_seen_;
+    Send(sim::Message::Make(id(), config_.server, PullServer::kRequestType,
+                            req, 32));
+  }
+  if (!resp.summaries) max_seen_ = std::max(max_seen_, fresh_max);
+}
+
+void DirectPushServer::Publish(const Article& article) {
+  for (sim::NodeId sub : subscribers_) {
+    Send(sim::Message::Make(id(), sub, kPushType, article,
+                            article.body_bytes));
+  }
+}
+
+void DirectPushClient::OnMessage(const sim::Message& msg) {
+  if (msg.type != DirectPushServer::kPushType) return;
+  const auto& article = msg.As<Article>();
+  ++received_;
+  latency_.Add(Now() - article.created_at);
+}
+
+}  // namespace nw::baseline

@@ -1,0 +1,280 @@
+#include "multicast/multicast.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace nw::multicast {
+
+using astrolabe::Agent;
+using astrolabe::Row;
+using astrolabe::ZonePath;
+
+MulticastService::MulticastService(Agent& agent, MulticastConfig config)
+    : agent_(agent),
+      config_(config),
+      budget_(config.forward_bytes_per_sec, config.forward_burst_bytes) {
+  agent_.RegisterHandler(kForwardType, [this](const sim::Message& msg) {
+    HandleForward(msg);
+  });
+  if (config_.report_load && config_.load_report_interval > 0) {
+    agent_.Schedule(config_.load_report_interval *
+                        (0.5 + agent_.Rng().NextDouble()),
+                    [this] { ReportLoad(); });
+  }
+}
+
+void MulticastService::ReportLoad() {
+  // Utilization of the forwarding budget since the last report, smoothed;
+  // fed into representative election via the "load" MIB attribute (§5).
+  const std::uint64_t bytes = stats_.forward_bytes - last_reported_bytes_;
+  last_reported_bytes_ = stats_.forward_bytes;
+  const double inst =
+      double(bytes) /
+      (config_.load_report_interval * config_.forward_bytes_per_sec);
+  load_ewma_ = 0.7 * load_ewma_ + 0.3 * std::min(1.0, inst);
+  agent_.SetLocalAttr(astrolabe::kAttrLoad, load_ewma_);
+  agent_.Schedule(config_.load_report_interval, [this] { ReportLoad(); });
+}
+
+void MulticastService::SendToZone(const ZonePath& zone, Item item) {
+  item.target_zone = zone.ToString();
+  if (zone.IsPrefixOf(agent_.path())) {
+    Disseminate(std::move(item));
+    return;
+  }
+  // Publishing into a zone we are not a member of (paper §8: "disseminate
+  // localized news items in Asia"): hand the item to a representative of
+  // that zone, provided the zone is visible from our root path.
+  if (zone.IsRoot() || zone.Depth() > agent_.Depth()) {
+    ++stats_.misrouted;
+    return;
+  }
+  const std::size_t level = zone.Depth() - 1;
+  if (!(zone.Prefix(level) == agent_.path().Prefix(level))) {
+    ++stats_.misrouted;
+    util::LogWarn("multicast %s: zone %s is not visible from here",
+                  agent_.path().ToString().c_str(), item.target_zone.c_str());
+    return;
+  }
+  auto contacts = agent_.ContactsOf(level, zone.Leaf());
+  if (contacts.empty()) {
+    ++stats_.misrouted;
+    return;
+  }
+  std::vector<sim::NodeId> reps = ChooseReps(item.target_zone, contacts);
+  EnqueueForChild(item.target_zone, 1, QueueEntry{std::move(item), std::move(reps)});
+  DrainQueues();
+}
+
+void MulticastService::HandleForward(const sim::Message& msg) {
+  Disseminate(msg.As<Item>());
+}
+
+bool MulticastService::SeenBefore(const std::string& id) {
+  if (seen_.contains(id)) return true;
+  seen_.insert(id);
+  seen_order_.push_back(id);
+  if (seen_order_.size() > config_.dup_log_capacity) {
+    seen_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+  return false;
+}
+
+void MulticastService::Disseminate(Item item) {
+  const ZonePath zone = ZonePath::Parse(item.target_zone);
+  if (!zone.IsPrefixOf(agent_.path())) {
+    // Stale contact information routed the item to a node outside the
+    // target zone; drop (redundant paths cover the loss).
+    ++stats_.misrouted;
+    return;
+  }
+  if (SeenBefore(item.id)) {
+    ++stats_.duplicates;
+    return;
+  }
+  // Member of the target zone: deliver locally once.
+  ++stats_.delivered;
+  if (deliver_) deliver_(item);
+
+  // Recursive expansion (§5): forward to representatives of every child
+  // zone, deepest first when the target is an ancestor of ours.
+  ++item.hops;
+  for (std::size_t level = zone.Depth(); level < agent_.Depth(); ++level) {
+    const astrolabe::Table& table = agent_.TableAt(level);
+    const ZonePath prefix = agent_.path().Prefix(level);
+    const std::string& own_child = agent_.path().Component(level);
+    for (const auto& [child_key, entry] : table) {
+      if (child_key == own_child) continue;  // we handle our own subtree
+      if (filter_ && !filter_(item, entry.attrs)) {
+        ++stats_.filtered;
+        continue;
+      }
+      auto contacts = agent_.ContactsOf(level, child_key);
+      if (contacts.empty()) continue;
+      Item forwarded = item;
+      forwarded.target_zone = prefix.Child(child_key).ToString();
+      std::vector<sim::NodeId> reps =
+          ChooseReps(forwarded.target_zone, contacts);
+      std::uint64_t weight = 1;
+      if (auto it = entry.attrs.find(astrolabe::kAttrMembers);
+          it != entry.attrs.end() &&
+          it->second.type() == astrolabe::AttrValue::Type::kInt) {
+        weight = static_cast<std::uint64_t>(
+            std::max<std::int64_t>(1, it->second.AsInt()));
+      }
+      EnqueueForChild(forwarded.target_zone, weight,
+                      QueueEntry{std::move(forwarded), std::move(reps)});
+    }
+    // Within our own subtree we recurse in place: the loop continues one
+    // level deeper, so no self-addressed network message is needed.
+  }
+  DrainQueues();
+}
+
+std::vector<sim::NodeId> MulticastService::ChooseReps(
+    const std::string& child_key, const std::vector<sim::NodeId>& contacts) {
+  std::vector<sim::NodeId> reps;
+  const std::size_t want =
+      std::min<std::size_t>(static_cast<std::size_t>(config_.redundancy),
+                            contacts.size());
+  // Prefer the representative we already talk to ("where there currently
+  // are open connections", §5), then fill randomly.
+  if (auto it = affinity_.find(child_key); it != affinity_.end()) {
+    if (std::find(contacts.begin(), contacts.end(), it->second) !=
+        contacts.end()) {
+      reps.push_back(it->second);
+    }
+  }
+  std::size_t guard = 0;
+  while (reps.size() < want && guard++ < contacts.size() * 4 + 8) {
+    const sim::NodeId pick =
+        contacts[agent_.Rng().NextBelow(contacts.size())];
+    if (std::find(reps.begin(), reps.end(), pick) == reps.end()) {
+      reps.push_back(pick);
+    }
+  }
+  if (!reps.empty()) affinity_[child_key] = reps.front();
+  return reps;
+}
+
+void MulticastService::EnqueueForChild(const std::string& child_key,
+                                       std::uint64_t weight,
+                                       QueueEntry entry) {
+  ChildQueue& q = queues_[child_key];
+  q.weight = weight;
+  if (q.entries.size() >= config_.max_queue_items) {
+    ++stats_.queue_drops;
+    return;
+  }
+  q.entries.push_back(std::move(entry));
+}
+
+bool MulticastService::SendEntry(QueueEntry& entry, double now) {
+  const std::size_t wire = entry.item.WireBytes();
+  const double cost = static_cast<double>(
+      wire * std::max<std::size_t>(1, entry.destinations.size()));
+  if (!budget_.TryConsume(now, cost)) return false;
+  for (sim::NodeId rep : entry.destinations) {
+    ++stats_.forwards;
+    stats_.forward_bytes += wire;
+    agent_.Send(
+        sim::Message::Make(agent_.id(), rep, kForwardType, entry.item, wire));
+  }
+  return true;
+}
+
+std::int64_t MulticastService::UrgencyOf(const QueueEntry& entry) const {
+  auto it = entry.item.metadata.find(config_.urgency_attr);
+  if (it == entry.item.metadata.end() ||
+      it->second.type() != astrolabe::AttrValue::Type::kInt) {
+    return 5;  // NITF mid-range default
+  }
+  return it->second.AsInt();
+}
+
+void MulticastService::DrainQueues() {
+  const double now = agent_.Now();
+  bool throttled = false;
+
+  switch (config_.queue_strategy) {
+    case QueueStrategy::kWeightedRoundRobin:
+    case QueueStrategy::kRoundRobin: {
+      // Each pass grants every non-empty queue credit — proportional to
+      // its child zone's member count for WRR, one for plain RR — and
+      // sends while the byte budget admits (§9).
+      for (bool progress = true; progress && !throttled;) {
+        progress = false;
+        for (auto& [key, q] : queues_) {
+          if (q.entries.empty()) continue;
+          q.credit +=
+              config_.queue_strategy == QueueStrategy::kWeightedRoundRobin
+                  ? q.weight
+                  : 1;
+          while (!q.entries.empty() && q.credit > 0) {
+            if (!SendEntry(q.entries.front(), now)) {
+              throttled = true;
+              break;
+            }
+            --q.credit;
+            q.entries.pop_front();
+            progress = true;
+          }
+          if (throttled) break;
+        }
+      }
+      for (auto& [key, q] : queues_) q.credit = 0;
+      break;
+    }
+    case QueueStrategy::kUrgencyFirst: {
+      // Aggressive: always send the globally most-urgent queued entry
+      // next — urgent items overtake backlogs inside their own queue too.
+      for (;;) {
+        ChildQueue* best_q = nullptr;
+        std::deque<QueueEntry>::iterator best_it;
+        std::int64_t best_urgency = 0;
+        for (auto& [key, q] : queues_) {
+          for (auto it = q.entries.begin(); it != q.entries.end(); ++it) {
+            const std::int64_t u = UrgencyOf(*it);
+            if (best_q == nullptr || u < best_urgency) {
+              best_q = &q;
+              best_it = it;
+              best_urgency = u;
+            }
+          }
+        }
+        if (best_q == nullptr) break;
+        if (!SendEntry(*best_it, now)) {
+          throttled = true;
+          break;
+        }
+        best_q->entries.erase(best_it);
+      }
+      break;
+    }
+  }
+
+  bool any_left = throttled;
+  for (auto& [key, q] : queues_) {
+    if (!q.entries.empty()) any_left = true;
+  }
+  if (any_left && !drain_scheduled_) {
+    drain_scheduled_ = true;
+    agent_.Schedule(config_.drain_interval, [this] {
+      drain_scheduled_ = false;
+      DrainQueues();
+    });
+  }
+}
+
+const char* QueueStrategyName(QueueStrategy s) noexcept {
+  switch (s) {
+    case QueueStrategy::kWeightedRoundRobin: return "weighted-round-robin";
+    case QueueStrategy::kRoundRobin: return "round-robin";
+    case QueueStrategy::kUrgencyFirst: return "urgency-first";
+  }
+  return "?";
+}
+
+}  // namespace nw::multicast

@@ -1,0 +1,150 @@
+// Application-level multicast on Astrolabe (paper §5 and §9).
+//
+// SendToZone(zone, item) disseminates an item to every leaf under `zone` as
+// a recursive computation over the zone tables: at each hop the forwarding
+// component looks up the representatives ("contacts") of every child zone,
+// applies a pluggable forwarding filter (the pub/sub layer installs the
+// Bloom-filter test here), and relays the item to `redundancy`
+// representatives per child. Each forwarding component keeps a duplicate-
+// suppression log and per-child forwarding queues drained by weighted
+// round-robin under a byte budget (§9).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "astrolabe/agent.h"
+#include "util/token_bucket.h"
+
+namespace nw::multicast {
+
+// How forwarding queues are filled/drained under a constrained budget
+// (paper §9: "The best strategy to fill queues is still under research.
+// We are experimenting with weighted round-robin strategies, as well as
+// some more aggressive techniques").
+enum class QueueStrategy {
+  kWeightedRoundRobin,  // credit proportional to child-zone member count
+  kRoundRobin,          // one item per non-empty queue per pass
+  kUrgencyFirst,        // "aggressive": drain most-urgent items first
+};
+
+const char* QueueStrategyName(QueueStrategy s) noexcept;
+
+struct MulticastConfig {
+  int redundancy = 1;  // representatives per child zone (paper §9, MIT-style)
+  double forward_bytes_per_sec = 1e9;   // forwarding budget (token bucket)
+  double forward_burst_bytes = 256e3;
+  double drain_interval = 0.05;         // re-check queues when throttled
+  std::size_t max_queue_items = 10000;  // per child-zone queue bound
+  std::size_t dup_log_capacity = 1 << 16;
+  QueueStrategy queue_strategy = QueueStrategy::kWeightedRoundRobin;
+  // Name of the metadata attribute consulted by kUrgencyFirst; lower
+  // values drain first (NITF urgency semantics: 1 = flash).
+  std::string urgency_attr = "urgency";
+  // Paper §5: representative election "combines the local knowledge of
+  // availability of independent network paths ... the load on those paths
+  // and the load on each node". When enabled, the forwarding component
+  // periodically publishes its forwarding utilization into the agent's
+  // "load" MIB attribute, which the default core aggregation uses to
+  // elect the least-loaded contacts.
+  bool report_load = true;
+  double load_report_interval = 5.0;
+};
+
+// The unit of dissemination. Metadata rides along for filtering; the body
+// is modeled by its size only (content does not affect the protocols).
+struct Item {
+  std::string id;           // globally unique (publisher-assigned, §9)
+  std::string target_zone;  // zone the item is being disseminated within
+  astrolabe::Row metadata;
+  std::size_t body_bytes = 0;
+  double published_at = 0;
+  int hops = 0;
+
+  std::size_t WireBytes() const {
+    return id.size() + target_zone.size() + 16 +
+           astrolabe::RowWireBytes(metadata) + body_bytes;
+  }
+};
+
+struct MulticastStats {
+  std::uint64_t delivered = 0;       // handed to the delivery callback
+  std::uint64_t duplicates = 0;      // suppressed by the dup log
+  std::uint64_t forwards = 0;        // messages relayed downward
+  std::uint64_t forward_bytes = 0;
+  std::uint64_t filtered = 0;        // child zones skipped by the filter
+  std::uint64_t queue_drops = 0;     // overload losses
+  std::uint64_t misrouted = 0;       // received for a zone we are not in
+};
+
+// Attaches the forwarding component to an Astrolabe agent. The service
+// registers a message handler on the agent; one service per agent.
+class MulticastService {
+ public:
+  using DeliveryCallback = std::function<void(const Item&)>;
+  // Decides whether `item` should be forwarded into the child zone
+  // described by `child_row` (aggregated attributes). Leaf rows are agent
+  // MIB rows, so the same filter performs leaf-level selection.
+  using ForwardFilter =
+      std::function<bool(const Item&, const astrolabe::Row& child_row)>;
+
+  MulticastService(astrolabe::Agent& agent, MulticastConfig config);
+
+  void SetDeliveryCallback(DeliveryCallback cb) { deliver_ = std::move(cb); }
+  void SetForwardFilter(ForwardFilter filter) { filter_ = std::move(filter); }
+
+  // Local entry point: disseminates `item` to all (filter-passing) leaves
+  // under `zone`. The caller must be a member of `zone`.
+  void SendToZone(const astrolabe::ZonePath& zone, Item item);
+
+  const MulticastStats& stats() const { return stats_; }
+  astrolabe::Agent& agent() { return agent_; }
+
+  // Message type used on the wire; exposed for traffic accounting.
+  static constexpr const char* kForwardType = "mc.fwd";
+
+ private:
+  struct QueueEntry {
+    Item item;
+    std::vector<sim::NodeId> destinations;
+  };
+  struct ChildQueue {
+    std::deque<QueueEntry> entries;
+    std::uint64_t weight = 1;  // nmembers of the child zone
+    std::uint64_t credit = 0;  // WRR state
+  };
+
+  void HandleForward(const sim::Message& msg);
+  void Disseminate(Item item);
+  bool SeenBefore(const std::string& id);
+  void EnqueueForChild(const std::string& child_key, std::uint64_t weight,
+                       QueueEntry entry);
+  void DrainQueues();
+  bool SendEntry(QueueEntry& entry, double now);
+  std::int64_t UrgencyOf(const QueueEntry& entry) const;
+  void ReportLoad();
+  std::vector<sim::NodeId> ChooseReps(const std::string& child_key,
+                                      const std::vector<sim::NodeId>& contacts);
+
+  astrolabe::Agent& agent_;
+  MulticastConfig config_;
+  DeliveryCallback deliver_;
+  ForwardFilter filter_;
+  util::TokenBucket budget_;
+  std::map<std::string, ChildQueue> queues_;
+  bool drain_scheduled_ = false;
+  // Bounded duplicate log: set + FIFO eviction order.
+  std::unordered_set<std::string> seen_;
+  std::deque<std::string> seen_order_;
+  std::map<std::string, sim::NodeId> affinity_;  // "open connection" per child
+  std::uint64_t last_reported_bytes_ = 0;
+  double load_ewma_ = 0.0;
+  MulticastStats stats_;
+};
+
+}  // namespace nw::multicast

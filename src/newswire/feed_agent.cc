@@ -1,0 +1,65 @@
+#include "newswire/feed_agent.h"
+
+namespace nw::newswire {
+
+using baseline::PullMode;
+using baseline::PullServer;
+
+FeedAgent::FeedAgent(astrolabe::Agent& agent, Publisher& publisher,
+                     FeedAgentConfig config)
+    : agent_(agent), publisher_(publisher), config_(config) {
+  agent_.RegisterHandler(PullServer::kResponseType,
+                         [this](const sim::Message& msg) { OnResponse(msg); });
+}
+
+void FeedAgent::Start() {
+  agent_.Schedule(config_.poll_interval * agent_.Rng().NextDouble(),
+                  [this] { Poll(); });
+}
+
+void FeedAgent::Poll() {
+  ++stats_.polls;
+  PullServer::Request req;
+  req.mode = PullMode::kRssSummary;
+  agent_.Send(sim::Message::Make(agent_.id(), config_.legacy_server,
+                                 PullServer::kRequestType, req, 32));
+  agent_.Schedule(config_.poll_interval, [this] { Poll(); });
+}
+
+void FeedAgent::OnResponse(const sim::Message& msg) {
+  const auto& resp = msg.As<PullServer::Response>();
+  if (resp.not_modified) return;
+  if (resp.summaries) {
+    // RSS summary: if it names unseen articles, fetch their bodies.
+    bool any_new = false;
+    for (const auto& article : resp.articles) {
+      if (!seen_.contains(article.id)) any_new = true;
+    }
+    if (any_new) {
+      PullServer::Request req;
+      req.mode = PullMode::kFullPage;
+      req.bodies_only = true;
+      req.last_seen_id = max_seen_;
+      agent_.Send(sim::Message::Make(agent_.id(), config_.legacy_server,
+                                     PullServer::kRequestType, req, 32));
+    }
+    return;
+  }
+  // Bodies in hand: republish each unseen article into NewsWire.
+  for (const auto& article : resp.articles) {
+    if (!seen_.insert(article.id).second) continue;
+    max_seen_ = std::max(max_seen_, article.id);
+    NewsItem item;
+    item.subject = article.subject;
+    item.headline = "feed:" + std::to_string(article.id);
+    item.body_bytes = article.body_bytes;
+    item.categories = config_.categories;
+    if (publisher_.Publish(std::move(item))) {
+      ++stats_.republished;
+    } else {
+      ++stats_.throttled;
+    }
+  }
+}
+
+}  // namespace nw::newswire

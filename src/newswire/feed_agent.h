@@ -1,0 +1,51 @@
+// Bootstrap feed agents (paper §10): "we have already developed some
+// agents that are capable of transforming the current RSS/HTML information
+// from some publishers into message streams for the system to bootstrap
+// it." A FeedAgent runs next to a NewsWire publisher: it polls a legacy
+// pull-model site (baseline::PullServer) over the simulated network —
+// RSS summary first, then bodies of unseen articles — and republishes each
+// new article into NewsWire.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "baseline/pull.h"
+#include "newswire/publisher.h"
+
+namespace nw::newswire {
+
+struct FeedAgentConfig {
+  sim::NodeId legacy_server = 0;
+  double poll_interval = 60.0;
+  std::uint64_t categories = 1;  // category mask stamped on republished items
+};
+
+class FeedAgent {
+ public:
+  FeedAgent(astrolabe::Agent& agent, Publisher& publisher,
+            FeedAgentConfig config);
+
+  void Start();
+
+  struct Stats {
+    std::uint64_t polls = 0;
+    std::uint64_t republished = 0;
+    std::uint64_t throttled = 0;  // rejected by the publisher's flow control
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void Poll();
+  void OnResponse(const sim::Message& msg);
+
+  astrolabe::Agent& agent_;
+  Publisher& publisher_;
+  FeedAgentConfig config_;
+  std::set<std::uint64_t> seen_;
+  std::uint64_t max_seen_ = 0;
+  Stats stats_;
+};
+
+}  // namespace nw::newswire

@@ -1,0 +1,77 @@
+#include "newswire/message_cache.h"
+
+#include <algorithm>
+
+namespace nw::newswire {
+
+bool MessageCache::Insert(const NewsItem& item, double now) {
+  const std::string id = item.Id();
+  if (items_.contains(id)) {
+    ++stats_.duplicates;
+    return false;
+  }
+  if (config_.fuse_revisions && superseded_.contains(id)) {
+    // A newer revision already arrived; this copy is stale (§9: items can
+    // be "garbage collected, or fused ... into a more compact form").
+    ++stats_.stale_revisions_rejected;
+    return false;
+  }
+
+  if (config_.fuse_revisions && !item.supersedes.empty() &&
+      item.supersedes != id) {  // a self-referential chain is malformed
+    // Record the chain and drop the replaced revision if cached.
+    if (superseded_.emplace(item.supersedes, true).second) {
+      superseded_order_.push_back(item.supersedes);
+      if (superseded_order_.size() > config_.capacity * 4) {
+        superseded_.erase(superseded_order_.front());
+        superseded_order_.pop_front();
+      }
+    }
+    auto old = items_.find(item.supersedes);
+    if (old != items_.end()) {
+      items_.erase(old);
+      order_.erase(std::find(order_.begin(), order_.end(), item.supersedes));
+      ++stats_.superseded_dropped;
+    }
+  }
+
+  items_.emplace(id, Entry{item, now});
+  order_.push_back(id);
+  ++stats_.inserted;
+  while (items_.size() > config_.capacity) {
+    items_.erase(order_.front());
+    order_.pop_front();
+    ++stats_.evicted;
+  }
+  return true;
+}
+
+const NewsItem* MessageCache::Find(const std::string& id) const {
+  auto it = items_.find(id);
+  return it == items_.end() ? nullptr : &it->second.item;
+}
+
+std::vector<std::string> MessageCache::IdsSince(double since) const {
+  std::vector<std::string> out;
+  for (const auto& [id, entry] : items_) {
+    if (entry.received_at >= since) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<NewsItem> MessageCache::ItemsSince(
+    double since, const std::vector<std::string>& subjects) const {
+  std::vector<NewsItem> out;
+  for (const auto& [id, entry] : items_) {
+    if (entry.received_at < since) continue;
+    if (!subjects.empty() &&
+        std::find(subjects.begin(), subjects.end(), entry.item.subject) ==
+            subjects.end()) {
+      continue;
+    }
+    out.push_back(entry.item);
+  }
+  return out;
+}
+
+}  // namespace nw::newswire

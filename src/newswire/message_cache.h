@@ -1,0 +1,70 @@
+// The end-system message cache (paper §9): feeds the application, manages
+// items by their revision metadata (superseded revisions are fused /
+// garbage-collected), serves anti-entropy repair requests from peers, and
+// provides the state transfer for joining nodes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "newswire/news_item.h"
+
+namespace nw::newswire {
+
+class MessageCache {
+ public:
+  struct Config {
+    std::size_t capacity = 1000;   // max cached items (LRU-by-insertion)
+    bool fuse_revisions = true;    // drop superseded revisions on arrival
+  };
+
+  MessageCache() : MessageCache(Config{}) {}
+  explicit MessageCache(Config config) : config_(config) {}
+
+  // Inserts an item; returns false if an item with the same id (or a newer
+  // revision of the same story) is already cached. `now` drives eviction
+  // bookkeeping.
+  bool Insert(const NewsItem& item, double now);
+
+  bool Contains(const std::string& id) const { return items_.contains(id); }
+  const NewsItem* Find(const std::string& id) const;
+  std::size_t size() const { return items_.size(); }
+
+  // Ids of items received at or after `since` (for repair digests).
+  std::vector<std::string> IdsSince(double since) const;
+
+  // Items received at or after `since`, optionally restricted to the given
+  // subjects (empty = all). Used for repair replies and join state
+  // transfer.
+  std::vector<NewsItem> ItemsSince(
+      double since, const std::vector<std::string>& subjects = {}) const;
+
+  struct Stats {
+    std::uint64_t inserted = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t superseded_dropped = 0;  // revision fusion (§9)
+    std::uint64_t stale_revisions_rejected = 0;
+    std::uint64_t evicted = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    NewsItem item;
+    double received_at = 0;
+  };
+
+  Config config_;
+  std::map<std::string, Entry> items_;
+  std::deque<std::string> order_;  // insertion order for eviction
+  // Ids known to be superseded by a newer revision; arrivals of these are
+  // rejected even if the newer revision displaced them first.
+  std::map<std::string, bool> superseded_;
+  std::deque<std::string> superseded_order_;
+  Stats stats_;
+};
+
+}  // namespace nw::newswire

@@ -1,0 +1,55 @@
+// The news item model (paper §7): items carry NITF-like metadata —
+// publisher, subject, category set, urgency, revision chain — used both
+// for subscription matching and for cache management (§9). Metadata is
+// represented as an Astrolabe attribute row so subscriber SQL predicates
+// (§8) evaluate over it directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "astrolabe/table.h"
+#include "multicast/multicast.h"
+
+namespace nw::newswire {
+
+struct NewsItem {
+  std::string publisher;
+  std::uint64_t seq = 0;  // per-publisher; (publisher, seq) is the unique id
+  std::string subject;    // e.g. "tech.linux" — the subscription key
+  std::string headline;
+  std::size_t body_bytes = 2048;
+  std::uint64_t categories = 0;  // NITF-style category bitmask
+  std::int64_t revision = 1;
+  std::string supersedes;  // id of the item this revision replaces
+  std::int64_t urgency = 5;  // NITF urgency 1 (flash) .. 8 (routine)
+  double published_at = 0;
+  std::uint64_t signature = 0;  // publisher authentication (§8)
+  // Dissemination scope (paper §8: zone-restricted publishing). Signed, and
+  // honored by the repair/state-transfer paths so scoped items never leak
+  // outside their zone.
+  std::string scope = "/";
+  // Publisher-controlled targeting predicate (§8 "future feature"): SQL
+  // over zone-aggregate / leaf MIB attributes, checked at every forwarding
+  // hop and re-checked on repair arrivals. Empty = deliver to all
+  // subscribers of the subject.
+  std::string forward_predicate;
+
+  // Unique id (paper §9: "news items are uniquely identified by the
+  // publisher as part of the news item meta-data").
+  std::string Id() const { return publisher + "#" + std::to_string(seq); }
+
+  // Digest covering all authenticated fields.
+  std::uint64_t Digest() const;
+
+  // Converts to/from the metadata row carried on the wire.
+  astrolabe::Row ToMetadata() const;
+  static std::optional<NewsItem> FromMetadata(const astrolabe::Row& row);
+
+  // Wraps this item into a multicast item (metadata + body size).
+  multicast::Item ToMulticastItem() const;
+  static std::optional<NewsItem> FromMulticastItem(const multicast::Item& item);
+};
+
+}  // namespace nw::newswire

@@ -1,0 +1,38 @@
+#include "newswire/publisher.h"
+
+namespace nw::newswire {
+
+Publisher::Publisher(astrolabe::Agent& agent, pubsub::PubSubService& pubsub,
+                     PublisherConfig config)
+    : agent_(agent),
+      pubsub_(pubsub),
+      config_(std::move(config)),
+      flow_(config_.max_items_per_sec, config_.burst) {}
+
+bool Publisher::Publish(NewsItem item, const astrolabe::ZonePath& scope) {
+  if (!flow_.TryConsume(agent_.Now())) {
+    ++stats_.throttled;
+    return false;
+  }
+  item.publisher = config_.name;
+  item.seq = next_seq_++;
+  item.published_at = agent_.Now();
+  item.scope = scope.ToString();
+  item.signature = astrolabe::SignDigest(config_.signing_key, item.Digest());
+  const std::string subject = item.subject;
+  ++stats_.published;
+  if (hook_) hook_(item);
+  pubsub_.Publish(item.ToMulticastItem(), subject, scope,
+                  item.forward_predicate);
+  return true;
+}
+
+bool Publisher::PublishRevision(const NewsItem& prev, NewsItem updated,
+                                const astrolabe::ZonePath& scope) {
+  updated.supersedes = prev.Id();
+  updated.revision = prev.revision + 1;
+  if (updated.subject.empty()) updated.subject = prev.subject;
+  return Publish(std::move(updated), scope);
+}
+
+}  // namespace nw::newswire

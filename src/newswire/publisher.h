@@ -1,0 +1,66 @@
+// The publisher application (paper §8): "under the covers ... an
+// application identical to the subscriber application core, insofar as it
+// is just another Astrolabe leaf node". Publishing is subject to a
+// restrictive rule set: authenticated identity (a kPublisher certificate
+// binding the name to a signing key) and token-bucket flow control.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "astrolabe/cert.h"
+#include "newswire/news_item.h"
+#include "pubsub/pubsub.h"
+#include "util/token_bucket.h"
+
+namespace nw::newswire {
+
+struct PublisherConfig {
+  std::string name;
+  double max_items_per_sec = 5.0;  // flow-control rate (§8)
+  double burst = 10.0;
+  astrolabe::PrivateKey signing_key = 0;
+};
+
+class Publisher {
+ public:
+  Publisher(astrolabe::Agent& agent, pubsub::PubSubService& pubsub,
+            PublisherConfig config);
+
+  // Assigns the sequence number and timestamp, signs the item, and
+  // disseminates it within `scope`. Returns false (and publishes nothing)
+  // if flow control rejects the item.
+  bool Publish(NewsItem item, const astrolabe::ZonePath& scope =
+                                  astrolabe::ZonePath::Root());
+
+  // Publishes an updated revision superseding `prev` (same story chain).
+  bool PublishRevision(const NewsItem& prev, NewsItem updated,
+                       const astrolabe::ZonePath& scope =
+                           astrolabe::ZonePath::Root());
+
+  const std::string& name() const { return config_.name; }
+  std::uint64_t next_seq() const { return next_seq_; }
+
+  // Invoked with every successfully published (signed, sequenced) item —
+  // e.g. to archive it in the node's message cache for repair.
+  using PublishHook = std::function<void(const NewsItem&)>;
+  void SetPublishHook(PublishHook hook) { hook_ = std::move(hook); }
+
+  struct Stats {
+    std::uint64_t published = 0;
+    std::uint64_t throttled = 0;  // rejected by flow control
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  astrolabe::Agent& agent_;
+  pubsub::PubSubService& pubsub_;
+  PublisherConfig config_;
+  util::TokenBucket flow_;
+  std::uint64_t next_seq_ = 1;
+  PublishHook hook_;
+  Stats stats_;
+};
+
+}  // namespace nw::newswire

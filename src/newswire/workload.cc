@@ -1,0 +1,111 @@
+#include "newswire/workload.h"
+
+#include <cmath>
+
+namespace nw::newswire {
+
+double NewsWorkload::RateAt(double t) const {
+  const double phase = 2.0 * 3.14159265358979 * t / config_.day_seconds;
+  return 1.0 + config_.diurnal_amplitude * std::sin(phase);
+}
+
+void NewsWorkload::ScheduleAll() {
+  const double start = sys_.Now();
+  const double rate_per_sec = config_.base_items_per_hour / 3600.0;
+  const double peak = rate_per_sec * (1.0 + config_.diurnal_amplitude);
+
+  // Routine stream: non-homogeneous Poisson by thinning against the peak.
+  double t = 0;
+  while (t < config_.duration) {
+    t += rng_.NextExponential(1.0 / std::max(peak, 1e-9));
+    if (t >= config_.duration) break;
+    if (!rng_.NextBool(RateAt(t) * rate_per_sec / peak)) continue;
+    const std::string subject = sys_.RandomSubject();
+    const std::int64_t urgency = 4 + std::int64_t(rng_.NextBelow(5));
+    const std::size_t publisher = next_publisher_++ % sys_.publisher_count();
+    sys_.deployment().sim().At(
+        start + t, [this, publisher, subject, urgency, start, t] {
+          PublishOne(publisher, subject, urgency, /*burst=*/false, start + t);
+        });
+    ++stats_.routine_scheduled;
+  }
+
+  // Breaking-news bursts: homogeneous Poisson, each a cluster of urgent
+  // items on a single subject.
+  double bt = 0;
+  while (true) {
+    bt += rng_.NextExponential(3600.0 / std::max(config_.bursts_per_hour, 1e-9));
+    if (bt >= config_.duration) break;
+    ++stats_.bursts;
+    const std::string subject = sys_.RandomSubject();
+    const std::size_t publisher = next_publisher_++ % sys_.publisher_count();
+    for (std::size_t k = 0; k < config_.burst_items; ++k) {
+      const double when =
+          bt + config_.burst_span * double(k) / double(config_.burst_items);
+      if (when >= config_.duration) break;
+      sys_.deployment().sim().At(
+          start + when, [this, publisher, subject, start, when] {
+            PublishOne(publisher, subject, /*urgency=*/1, /*burst=*/true,
+                       start + when);
+          });
+      ++stats_.burst_items;
+    }
+  }
+}
+
+void NewsWorkload::PublishOne(std::size_t publisher,
+                              const std::string& subject,
+                              std::int64_t urgency, bool burst, double now) {
+  NewsItem item;
+  item.subject = subject;
+  item.headline = (burst ? "BREAKING " : "story ") + subject;
+  item.urgency = urgency;
+  item.body_bytes = config_.body_min +
+                    rng_.NextBelow(config_.body_max - config_.body_min + 1);
+  Publisher& pub = sys_.publisher(publisher);
+  const std::uint64_t seq = pub.next_seq();
+  if (!pub.Publish(item)) {
+    ++stats_.throttled;
+    return;
+  }
+  Published record;
+  record.id = pub.name() + "#" + std::to_string(seq);
+  record.subject = subject;
+  record.at = now;
+  record.burst = burst;
+  published_.push_back(record);
+
+  if (rng_.NextBool(config_.revision_prob)) {
+    NewsItem prev = item;
+    prev.publisher = pub.name();
+    prev.seq = seq;
+    MaybeScheduleRevision(publisher, prev);
+  }
+}
+
+void NewsWorkload::MaybeScheduleRevision(std::size_t publisher,
+                                         const NewsItem& item) {
+  const double delay = rng_.NextExponential(config_.revision_delay_mean);
+  ++stats_.revisions_scheduled;
+  sys_.deployment().sim().After(delay, [this, publisher, item] {
+    NewsItem updated;
+    updated.subject = item.subject;
+    updated.headline = item.headline + " (updated)";
+    updated.urgency = item.urgency;
+    updated.body_bytes = item.body_bytes + 200;
+    Publisher& pub = sys_.publisher(publisher);
+    const std::uint64_t seq = pub.next_seq();
+    if (!pub.PublishRevision(item, updated)) {
+      ++stats_.throttled;
+      return;
+    }
+    Published record;
+    record.id = pub.name() + "#" + std::to_string(seq);
+    record.subject = item.subject;
+    record.at = sys_.Now();
+    record.revision = true;
+    published_.push_back(record);
+  });
+}
+
+}  // namespace nw::newswire

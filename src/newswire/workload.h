@@ -1,0 +1,77 @@
+// Synthetic news workload generator: a non-homogeneous Poisson article
+// stream with a diurnal rate curve, breaking-news bursts (a cluster of
+// urgent items on one subject), and follow-up revisions that supersede
+// earlier items (§9 revision metadata). Stands in for the Reuters/AP
+// feeds the paper's production deployment would consume (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "newswire/system.h"
+#include "util/rng.h"
+
+namespace nw::newswire {
+
+struct WorkloadConfig {
+  double duration = 3600;            // seconds of stream to schedule
+  double base_items_per_hour = 60;   // fleet-wide average at rate 1.0
+  double diurnal_amplitude = 0.6;    // 0 = flat; 1 = rate swings 0..2x
+  double day_seconds = 86400;        // period of the diurnal curve
+  double bursts_per_hour = 0.5;      // breaking-news burst frequency
+  std::size_t burst_items = 8;       // items per burst
+  double burst_span = 90;            // seconds a burst stretches over
+  double revision_prob = 0.2;        // chance an item gets a revision
+  double revision_delay_mean = 180;  // seconds until the revision
+  std::size_t body_min = 600;
+  std::size_t body_max = 4000;
+  std::uint64_t seed = 1;
+};
+
+class NewsWorkload {
+ public:
+  struct Published {
+    std::string id;
+    std::string subject;
+    double at = 0;
+    bool burst = false;
+    bool revision = false;
+  };
+
+  NewsWorkload(NewswireSystem& system, WorkloadConfig config)
+      : sys_(system), config_(config), rng_(config.seed ^ 0x574cull) {}
+
+  // Schedules the entire stream on the simulator, starting at Now().
+  // Items rotate across the system's publishers; burst items carry
+  // urgency 1, routine items urgency 4..8.
+  void ScheduleAll();
+
+  const std::vector<Published>& published() const { return published_; }
+
+  struct Stats {
+    std::size_t routine_scheduled = 0;
+    std::size_t bursts = 0;
+    std::size_t burst_items = 0;
+    std::size_t revisions_scheduled = 0;
+    std::size_t throttled = 0;  // rejected by publisher flow control
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Instantaneous rate multiplier of the diurnal curve at offset t.
+  double RateAt(double t) const;
+
+ private:
+  void PublishOne(std::size_t publisher, const std::string& subject,
+                  std::int64_t urgency, bool burst, double now);
+  void MaybeScheduleRevision(std::size_t publisher, const NewsItem& item);
+
+  NewswireSystem& sys_;
+  WorkloadConfig config_;
+  util::DeterministicRng rng_;
+  std::vector<Published> published_;
+  std::size_t next_publisher_ = 0;
+  Stats stats_;
+};
+
+}  // namespace nw::newswire

@@ -1,0 +1,72 @@
+// Bloom filter over subscription subjects (paper §6).
+//
+// The paper's base scheme hashes each subscription to a single bit
+// (hashes == 1) in an array of ~1000 bits; subscription arrays are
+// aggregated up the zone tree with binary OR. The number of hash
+// functions is configurable for the accuracy ablation (E5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "astrolabe/bitvector.h"
+#include "util/hash.h"
+
+namespace nw::pubsub {
+
+struct BloomConfig {
+  std::size_t bits = 1024;
+  std::size_t hashes = 1;  // paper default: one bit per subscription
+  std::uint64_t seed = 0x426c6f6f6dull;  // shared system-wide
+};
+
+class BloomFilter {
+ public:
+  explicit BloomFilter(BloomConfig config)
+      : config_(config), bits_(config.bits) {}
+
+  // The bit positions a subject maps to.
+  std::vector<std::size_t> Positions(std::string_view subject) const {
+    std::vector<std::size_t> out;
+    out.reserve(config_.hashes);
+    for (std::size_t i = 0; i < config_.hashes; ++i) {
+      out.push_back(static_cast<std::size_t>(
+          util::HashWithSeed(subject, config_.seed + i) % config_.bits));
+    }
+    return out;
+  }
+
+  void Add(std::string_view subject) {
+    for (std::size_t pos : Positions(subject)) bits_.Set(pos);
+  }
+
+  bool MightContain(std::string_view subject) const {
+    for (std::size_t pos : Positions(subject)) {
+      if (!bits_.Test(pos)) return false;
+    }
+    return true;
+  }
+
+  void Clear() { bits_ = astrolabe::BitVector(config_.bits); }
+
+  const astrolabe::BitVector& bits() const { return bits_; }
+  const BloomConfig& config() const { return config_; }
+
+  // True if an aggregated array `agg` admits a publication stamped with
+  // `positions` (every stamped bit set).
+  static bool Admits(const astrolabe::BitVector& agg,
+                     const std::vector<std::size_t>& positions) {
+    for (std::size_t pos : positions) {
+      if (pos >= agg.size() || !agg.Test(pos)) return false;
+    }
+    return true;
+  }
+
+ private:
+  BloomConfig config_;
+  astrolabe::BitVector bits_;
+};
+
+}  // namespace nw::pubsub

@@ -1,0 +1,70 @@
+// The paper's §7 "early internal prototype" subscription scheme: each
+// publisher is represented by its own MIB attribute holding a small bit
+// mask of news categories the subscriber wants from that publisher; masks
+// are aggregated up the tree by binary OR, one aggregation term per
+// publisher. The scheme works but scales linearly with the number of
+// publishers (one attribute + one aggregation each) — the comparison that
+// motivates the Bloom-filter design (reproduced in E9).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "multicast/multicast.h"
+
+namespace nw::pubsub {
+
+// Metadata attribute names on publications.
+inline constexpr const char* kAttrPublisher = "publisher";
+inline constexpr const char* kAttrCatMask = "catmask";
+
+// MIB attribute and aggregation function for one publisher.
+std::string CategoryAttrFor(const std::string& publisher);
+std::string CategoryFunctionNameFor(const std::string& publisher);
+std::string CategoryFunctionCodeFor(const std::string& publisher);
+
+class CategorySubscriptions {
+ public:
+  using NewsCallback = std::function<void(const multicast::Item&)>;
+
+  CategorySubscriptions(astrolabe::Agent& agent,
+                        multicast::MulticastService& mc);
+
+  // Subscribe to `publisher` items in any category of `mask` (bit i set =
+  // category i wanted). mask == 0 unsubscribes.
+  void Subscribe(const std::string& publisher, std::uint64_t mask);
+  std::uint64_t MaskFor(const std::string& publisher) const;
+
+  void SetNewsCallback(NewsCallback cb) { on_news_ = std::move(cb); }
+
+  // Publishes an item from `publisher` tagged with the given category mask.
+  void Publish(multicast::Item item, const std::string& publisher,
+               std::uint64_t categories,
+               const astrolabe::ZonePath& scope = astrolabe::ZonePath::Root());
+
+  struct Stats {
+    std::uint64_t published = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t rejected = 0;  // reached the leaf but mask mismatch
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Forwarding decision, shared with tests: the aggregated per-publisher
+  // mask of the child must intersect the item's categories. A child with
+  // no aggregated attribute has no subscribers for that publisher.
+  static bool ChildAdmits(const multicast::Item& item,
+                          const astrolabe::Row& child_row);
+
+ private:
+  void OnDeliver(const multicast::Item& item);
+
+  astrolabe::Agent& agent_;
+  multicast::MulticastService& mc_;
+  std::map<std::string, std::uint64_t> masks_;
+  NewsCallback on_news_;
+  Stats stats_;
+};
+
+}  // namespace nw::pubsub

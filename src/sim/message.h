@@ -1,0 +1,50 @@
+// Simulated network message. Payloads are carried by shared_ptr-to-const so
+// a multicast fan-out of one item shares a single payload object, while the
+// wire size used for bandwidth accounting is declared explicitly.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace nw::sim {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+struct Message {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  std::string type;         // protocol discriminator, e.g. "gossip", "fwd"
+  std::any payload;         // protocol-defined body (usually shared_ptr<const T>)
+  std::size_t wire_bytes = 0;  // size charged against link bandwidth
+
+  template <typename T>
+  const T& As() const {
+    return *std::any_cast<std::shared_ptr<const T>>(&payload)->get();
+  }
+
+  template <typename T>
+  static Message Make(NodeId from, NodeId to, std::string type, T body,
+                      std::size_t wire_bytes) {
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.type = std::move(type);
+    m.payload = std::make_shared<const T>(std::move(body));
+    m.wire_bytes = wire_bytes;
+    return m;
+  }
+
+  // Re-addresses an existing message (payload shared, not copied).
+  Message ReaddressedTo(NodeId new_from, NodeId new_to) const {
+    Message m = *this;
+    m.from = new_from;
+    m.to = new_to;
+    return m;
+  }
+};
+
+}  // namespace nw::sim

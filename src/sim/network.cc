@@ -1,0 +1,103 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.h"
+
+namespace nw::sim {
+
+NodeId Network::AddNode(Node* node) {
+  assert(node != nullptr);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(node);
+  alive_.push_back(true);
+  incarnation_.push_back(0);
+  partition_.push_back(0);
+  uplink_free_at_.push_back(0.0);
+  stats_.emplace_back();
+  node->net_ = this;
+  node->id_ = id;
+  node->rng_ = sim_.Rng().Fork(0x4e6f6465u /*'Node'*/ + id);
+  return id;
+}
+
+void Network::Send(Message msg) {
+  assert(msg.from < nodes_.size());
+  assert(msg.to < nodes_.size());
+  const NodeId from = msg.from;
+  const NodeId to = msg.to;
+
+  const std::size_t wire = msg.wire_bytes + config_.per_message_overhead;
+  stats_[from].messages_sent += 1;
+  stats_[from].bytes_sent += wire;
+
+  if (!alive_[from]) {
+    stats_[from].messages_dropped += 1;
+    return;
+  }
+
+  // Serialize on the sender's uplink.
+  const Time start = std::max(sim_.Now(), uplink_free_at_[from]);
+  const Time departure = start + double(wire) / config_.uplink_bytes_per_sec;
+  uplink_free_at_[from] = departure;
+
+  const double jitter =
+      config_.base_latency * config_.jitter_frac * sim_.Rng().NextDouble();
+  const Time arrival = departure + config_.base_latency + jitter;
+
+  const bool lost = sim_.Rng().NextBool(config_.loss_prob);
+  const std::uint32_t to_inc = incarnation_[to];
+
+  sim_.At(arrival, [this, msg = std::move(msg), wire, lost, to, from,
+                    to_inc]() mutable {
+    if (lost || !alive_[to] || incarnation_[to] != to_inc ||
+        partition_[from] != partition_[to]) {
+      stats_[to].messages_dropped += 1;
+      return;
+    }
+    stats_[to].messages_received += 1;
+    stats_[to].bytes_received += wire;
+    nodes_[to]->OnMessage(msg);
+  });
+}
+
+void Network::Kill(NodeId id) {
+  assert(id < nodes_.size());
+  if (!alive_[id]) return;
+  alive_[id] = false;
+  incarnation_[id] += 1;  // invalidates in-flight deliveries and timers
+  util::LogInfo("sim: node %u killed at t=%.2f", id, sim_.Now());
+}
+
+void Network::Restart(NodeId id) {
+  assert(id < nodes_.size());
+  if (alive_[id]) return;
+  alive_[id] = true;
+  incarnation_[id] += 1;
+  uplink_free_at_[id] = sim_.Now();
+  nodes_[id]->OnRestart();
+  util::LogInfo("sim: node %u restarted at t=%.2f", id, sim_.Now());
+}
+
+void Network::HealPartitions() {
+  std::fill(partition_.begin(), partition_.end(), 0);
+}
+
+TrafficStats Network::TotalStats() const {
+  TrafficStats total;
+  for (const auto& s : stats_) {
+    total.messages_sent += s.messages_sent;
+    total.bytes_sent += s.bytes_sent;
+    total.messages_received += s.messages_received;
+    total.bytes_received += s.bytes_received;
+    total.messages_dropped += s.messages_dropped;
+  }
+  return total;
+}
+
+void Network::ResetStats() {
+  std::fill(stats_.begin(), stats_.end(), TrafficStats{});
+}
+
+}  // namespace nw::sim

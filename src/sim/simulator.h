@@ -1,0 +1,87 @@
+// Deterministic discrete-event simulator core: a clock and an event queue.
+//
+// All protocol layers run on top of this. Events scheduled at equal times
+// fire in scheduling order (a monotone sequence number breaks ties), which
+// together with the seeded RNG makes whole-system runs exactly replayable.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace nw::sim {
+
+using Time = double;  // seconds of simulated time
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time Now() const noexcept { return now_; }
+
+  // Schedules fn at absolute time t (>= Now()).
+  void At(Time t, std::function<void()> fn) {
+    assert(t >= now_);
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  // Schedules fn after a relative delay (>= 0).
+  void After(Time delay, std::function<void()> fn) {
+    assert(delay >= 0);
+    At(now_ + delay, std::move(fn));
+  }
+
+  // Runs events until the queue empties or the clock would pass `t`;
+  // afterwards Now() == t unless the queue drained later than t.
+  void RunUntil(Time t) {
+    while (!queue_.empty() && queue_.top().time <= t) {
+      Step();
+    }
+    if (now_ < t) now_ = t;
+  }
+
+  // Runs until no events remain. Only safe when no recurring timers exist.
+  void RunUntilIdle() {
+    while (!queue_.empty()) Step();
+  }
+
+  // Executes the single earliest event. Returns false if none remain.
+  bool Step() {
+    if (queue_.empty()) return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+
+  std::size_t PendingEvents() const noexcept { return queue_.size(); }
+
+  util::DeterministicRng& Rng() noexcept { return rng_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  util::DeterministicRng rng_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace nw::sim

@@ -1,0 +1,82 @@
+// Minimal command-line flag parsing for the scenario tools: --name=value
+// or --name value; bare --name sets a boolean. Unknown flags are
+// collected so the caller can reject typos.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nw::util {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    MarkKnown(name);
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const {
+    MarkKnown(name);
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    MarkKnown(name);
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  bool GetBool(const std::string& name, bool fallback) const {
+    MarkKnown(name);
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second != "false" && it->second != "0" && it->second != "no";
+  }
+
+  // Flags given on the command line but never queried by the program.
+  std::vector<std::string> UnknownFlags() const {
+    std::vector<std::string> out;
+    for (const auto& [name, value] : values_) {
+      if (!known_.contains(name)) out.push_back(name);
+    }
+    return out;
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  void MarkKnown(const std::string& name) const { known_[name] = true; }
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> known_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nw::util

@@ -1,0 +1,42 @@
+// Deterministic, seedable hash primitives.
+//
+// The simulator and the Bloom-filter subscription layer need hashes that are
+// stable across runs and platforms, so we avoid std::hash (whose value is
+// unspecified) and provide small, well-known mixers instead.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace nw::util {
+
+// 64-bit FNV-1a over an arbitrary byte string.
+constexpr std::uint64_t Fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Fast 64-bit finalizer (the splitmix64 step). Good avalanche behaviour;
+// used to derive independent hash functions from a single base hash.
+constexpr std::uint64_t Mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Seeded string hash: h_i(s) = Mix64(Fnv1a64(s) ^ Mix64(seed)).
+constexpr std::uint64_t HashWithSeed(std::string_view bytes,
+                                     std::uint64_t seed) noexcept {
+  return Mix64(Fnv1a64(bytes) ^ Mix64(seed));
+}
+
+constexpr std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) noexcept {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+}  // namespace nw::util

@@ -1,0 +1,29 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace nw::util {
+
+LogLevel& GlobalLogLevel() noexcept {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void SetLogLevel(LogLevel level) noexcept { GlobalLogLevel() = level; }
+
+namespace internal {
+
+void LogLine(LogLevel level, const std::string& msg) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "D"; break;
+    case LogLevel::kInfo: tag = "I"; break;
+    case LogLevel::kWarn: tag = "W"; break;
+    case LogLevel::kError: tag = "E"; break;
+    case LogLevel::kOff: return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace internal
+}  // namespace nw::util

@@ -1,0 +1,46 @@
+// Minimal leveled logging. Disabled below the configured level at runtime;
+// the default level is kWarn so large simulations stay quiet.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace nw::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel& GlobalLogLevel() noexcept;
+void SetLogLevel(LogLevel level) noexcept;
+
+namespace internal {
+void LogLine(LogLevel level, const std::string& msg);
+
+template <typename... Args>
+void Logf(LogLevel level, const char* fmt, Args&&... args) {
+  if (level < GlobalLogLevel()) return;
+  char buf[1024];
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-vararg): printf-style sink.
+  std::snprintf(buf, sizeof(buf), fmt, std::forward<Args>(args)...);
+  LogLine(level, buf);
+}
+}  // namespace internal
+
+template <typename... Args>
+void LogDebug(const char* fmt, Args&&... args) {
+  internal::Logf(LogLevel::kDebug, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void LogInfo(const char* fmt, Args&&... args) {
+  internal::Logf(LogLevel::kInfo, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void LogWarn(const char* fmt, Args&&... args) {
+  internal::Logf(LogLevel::kWarn, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void LogError(const char* fmt, Args&&... args) {
+  internal::Logf(LogLevel::kError, fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace nw::util

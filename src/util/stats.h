@@ -1,0 +1,85 @@
+// Small statistics helpers used by the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace nw::util {
+
+// Accumulates samples and answers summary queries. Keeps all samples so
+// exact percentiles are available; experiment sample counts are modest.
+class SampleStats {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t Count() const noexcept { return samples_.size(); }
+  bool Empty() const noexcept { return samples_.empty(); }
+
+  double Sum() const noexcept {
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s;
+  }
+
+  double Mean() const noexcept { return Empty() ? 0.0 : Sum() / Count(); }
+
+  double Min() const noexcept {
+    double m = std::numeric_limits<double>::infinity();
+    for (double x : samples_) m = std::min(m, x);
+    return Empty() ? 0.0 : m;
+  }
+
+  double Max() const noexcept {
+    double m = -std::numeric_limits<double>::infinity();
+    for (double x : samples_) m = std::max(m, x);
+    return Empty() ? 0.0 : m;
+  }
+
+  double StdDev() const noexcept {
+    if (Count() < 2) return 0.0;
+    double mu = Mean();
+    double acc = 0;
+    for (double x : samples_) acc += (x - mu) * (x - mu);
+    return std::sqrt(acc / (Count() - 1));
+  }
+
+  // Exact percentile by nearest-rank, q in [0,100].
+  double Percentile(double q) const {
+    assert(q >= 0.0 && q <= 100.0);
+    if (Empty()) return 0.0;
+    EnsureSorted();
+    const std::size_t n = samples_.size();
+    std::size_t rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
+    if (rank == 0) rank = 1;
+    return samples_[rank - 1];
+  }
+
+  double Median() const { return Percentile(50); }
+
+ private:
+  void EnsureSorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Monotonic counter set keyed by small enum-like ints; convenience for
+// traffic accounting in the simulator.
+struct Counter {
+  std::uint64_t value = 0;
+  void Inc(std::uint64_t by = 1) noexcept { value += by; }
+};
+
+}  // namespace nw::util

@@ -1,0 +1,58 @@
+// Aligned-column table printing for benchmark output. Every experiment
+// binary prints its results through this so EXPERIMENTS.md rows can be
+// regenerated verbatim.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nw::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+  }
+  static std::string Int(long long v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+  }
+
+  void Print(FILE* out = stdout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::fprintf(out, "%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::fprintf(out, "\n");
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    std::fprintf(out, "%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nw::util

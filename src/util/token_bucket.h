@@ -1,0 +1,54 @@
+// Token-bucket rate limiter, used for publisher flow control (paper §8:
+// restrictions on publishers "to perform flow control").
+//
+// Time is supplied by the caller in seconds (simulation time), so the same
+// limiter works under the discrete-event simulator.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+namespace nw::util {
+
+class TokenBucket {
+ public:
+  // rate: tokens added per second; burst: bucket capacity.
+  TokenBucket(double rate, double burst)
+      : rate_(rate), burst_(burst), tokens_(burst) {
+    assert(rate > 0 && burst > 0);
+  }
+
+  // Attempts to consume `cost` tokens at time `now` (seconds, monotone
+  // non-decreasing across calls). Returns true iff admitted.
+  bool TryConsume(double now, double cost = 1.0) {
+    Refill(now);
+    if (tokens_ + 1e-9 >= cost) {
+      tokens_ -= cost;
+      return true;
+    }
+    return false;
+  }
+
+  double AvailableTokens(double now) {
+    Refill(now);
+    return tokens_;
+  }
+
+  double rate() const noexcept { return rate_; }
+  double burst() const noexcept { return burst_; }
+
+ private:
+  void Refill(double now) {
+    if (now > last_) {
+      tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
+      last_ = now;
+    }
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_ = 0.0;
+};
+
+}  // namespace nw::util

@@ -1,0 +1,174 @@
+// Tests for the centralized pull/push baselines.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/pull.h"
+#include "sim/simulator.h"
+
+namespace nw::baseline {
+namespace {
+
+class BaselineEnv {
+ public:
+  explicit BaselineEnv(std::uint64_t seed = 1) : sim(seed), net(sim, cfg()) {}
+
+  static sim::NetworkConfig cfg() {
+    sim::NetworkConfig c;
+    c.base_latency = 0.05;
+    c.jitter_frac = 0.0;
+    return c;
+  }
+
+  PullClient& AddClient(PullClient::Config config) {
+    clients.push_back(std::make_unique<PullClient>(config));
+    net.AddNode(clients.back().get());
+    return *clients.back();
+  }
+
+  sim::Simulator sim;
+  sim::Network net;
+  std::vector<std::unique_ptr<PullClient>> clients;
+};
+
+TEST(PullBaseline, FullPageReturnsWholeFrontPage) {
+  BaselineEnv env;
+  PullServer server(3);  // tiny front page
+  env.net.AddNode(&server);
+  env.sim.At(1.0, [&] {
+    for (int i = 0; i < 5; ++i) server.AddArticle(1000, 100, "s");
+  });
+  PullClient::Config cc;
+  cc.server = server.id();
+  cc.mode = PullMode::kFullPage;
+  cc.poll_interval = 10.0;
+  cc.start_offset = 2.0;
+  auto& client = env.AddClient(cc);
+  client.Start();
+  env.sim.RunUntil(5.0);
+  // One poll: the 3 front-page articles, all new.
+  EXPECT_EQ(client.stats().new_articles, 3u);
+  EXPECT_EQ(client.stats().redundant_bytes, 0u);
+  env.sim.RunUntil(25.0);
+  // Two more polls with no new content: everything redundant.
+  EXPECT_EQ(client.stats().new_articles, 3u);
+  EXPECT_EQ(client.stats().redundant_bytes, 2u * 3u * 1000u);
+}
+
+TEST(PullBaseline, DeltaModeSends304WhenNothingChanged) {
+  BaselineEnv env;
+  PullServer server(25);
+  env.net.AddNode(&server);
+  env.sim.At(0.5, [&] { server.AddArticle(1000, 100, "s"); });
+  PullClient::Config cc;
+  cc.server = server.id();
+  cc.mode = PullMode::kDeltaSince;
+  cc.poll_interval = 10.0;
+  cc.start_offset = 1.0;
+  auto& client = env.AddClient(cc);
+  client.Start();
+  env.sim.RunUntil(35.0);  // polls at t=1, 11, 21, 31
+  EXPECT_EQ(client.stats().new_articles, 1u);
+  EXPECT_EQ(client.stats().redundant_bytes, 0u);
+  EXPECT_EQ(server.stats().not_modified, 3u);
+}
+
+TEST(PullBaseline, RssFetchesBodiesOnlyForNewArticles) {
+  BaselineEnv env;
+  PullServer server(25);
+  env.net.AddNode(&server);
+  env.sim.At(0.5, [&] {
+    server.AddArticle(1000, 50, "s");
+    server.AddArticle(1000, 50, "s");
+  });
+  PullClient::Config cc;
+  cc.server = server.id();
+  cc.mode = PullMode::kRssSummary;
+  cc.poll_interval = 10.0;
+  cc.start_offset = 1.0;
+  auto& client = env.AddClient(cc);
+  client.Start();
+  env.sim.RunUntil(8.0);
+  EXPECT_EQ(client.stats().new_articles, 2u);
+  // Received: 2 summaries + 2 bodies.
+  EXPECT_EQ(client.stats().bytes_received, 2u * 50u + 2u * 1000u);
+  env.sim.RunUntil(18.0);
+  // Second poll: summaries again (redundant), no body fetch.
+  EXPECT_EQ(client.stats().new_articles, 2u);
+  EXPECT_EQ(client.stats().bytes_received, 4u * 50u + 2u * 1000u);
+  EXPECT_EQ(server.stats().requests, 3u);  // 2 summary polls + 1 body fetch
+}
+
+TEST(PullBaseline, StalenessBoundedByPollInterval) {
+  BaselineEnv env;
+  PullServer server(25);
+  env.net.AddNode(&server);
+  // One article appears right after a poll: it waits ~a full interval.
+  env.sim.At(1.5, [&] { server.AddArticle(500, 50, "s"); });
+  PullClient::Config cc;
+  cc.server = server.id();
+  cc.mode = PullMode::kDeltaSince;
+  cc.poll_interval = 20.0;
+  cc.start_offset = 1.0;
+  auto& client = env.AddClient(cc);
+  client.Start();
+  env.sim.RunUntil(60.0);
+  ASSERT_EQ(client.stats().staleness.Count(), 1u);
+  EXPECT_NEAR(client.stats().staleness.Mean(), 19.5, 0.5);
+}
+
+TEST(PullBaseline, ServerBytesScaleWithClients) {
+  BaselineEnv env;
+  PullServer server(10);
+  env.net.AddNode(&server);
+  env.sim.At(0.1, [&] {
+    for (int i = 0; i < 10; ++i) server.AddArticle(1000, 100, "s");
+  });
+  for (int c = 0; c < 20; ++c) {
+    PullClient::Config cc;
+    cc.server = server.id();
+    cc.mode = PullMode::kFullPage;
+    cc.poll_interval = 100.0;
+    cc.start_offset = 1.0 + c * 0.01;
+    env.AddClient(cc).Start();
+  }
+  env.sim.RunUntil(50.0);
+  EXPECT_EQ(server.stats().requests, 20u);
+  EXPECT_GE(server.stats().response_bytes, 20u * 10u * 1000u);
+}
+
+TEST(DirectPush, DeliversToAllWithUplinkSerialization) {
+  sim::Simulator simulator(3);
+  sim::NetworkConfig nc;
+  nc.base_latency = 0.05;
+  nc.jitter_frac = 0.0;
+  nc.uplink_bytes_per_sec = 100'000;  // publisher uplink is the bottleneck
+  nc.per_message_overhead = 0;
+  sim::Network net(simulator, nc);
+  DirectPushServer server;
+  net.AddNode(&server);
+  std::vector<std::unique_ptr<DirectPushClient>> clients;
+  for (int i = 0; i < 50; ++i) {
+    clients.push_back(std::make_unique<DirectPushClient>());
+    net.AddNode(clients.back().get());
+    server.AddSubscriber(clients.back()->id());
+  }
+  Article a;
+  a.id = 1;
+  a.created_at = 0.0;
+  a.body_bytes = 10'000;  // 50 * 10KB at 100KB/s = 5s serialization
+  simulator.At(0.0, [&] { server.Publish(a); });
+  simulator.RunUntilIdle();
+  std::size_t delivered = 0;
+  double max_latency = 0;
+  for (const auto& c : clients) {
+    delivered += c->received();
+    max_latency = std::max(max_latency, c->latency().Max());
+  }
+  EXPECT_EQ(delivered, 50u);
+  // The last client waits for the whole fan-out to serialize.
+  EXPECT_NEAR(max_latency, 5.05, 0.1);
+}
+
+}  // namespace
+}  // namespace nw::baseline

@@ -1,0 +1,109 @@
+// Tests for the simulated certificate infrastructure: issuance, tamper
+// detection, expiry, and chain validation.
+#include <gtest/gtest.h>
+
+#include "astrolabe/cert.h"
+
+namespace nw::astrolabe {
+namespace {
+
+class CertTest : public ::testing::Test {
+ protected:
+  CertTest()
+      : rng_(99),
+        root_keys_(GenerateKeyPair(rng_)),
+        root_("root", root_keys_),
+        zone_keys_(GenerateKeyPair(rng_)),
+        zone_("usa", zone_keys_) {}
+
+  util::DeterministicRng rng_;
+  KeyPair root_keys_;
+  Authority root_;
+  KeyPair zone_keys_;
+  Authority zone_;
+};
+
+TEST_F(CertTest, IssueAndVerify) {
+  Certificate c = root_.Issue(CertKind::kAgent, "n1", 12345,
+                              {{"zone", "/usa"}}, 0, 100);
+  EXPECT_TRUE(c.VerifySignature());
+  EXPECT_EQ(ValidateChain(c, {}, root_.public_key(), 50), CertStatus::kOk);
+}
+
+TEST_F(CertTest, TamperedSubjectDetected) {
+  Certificate c = root_.Issue(CertKind::kAgent, "n1", 12345, {}, 0, 100);
+  c.subject = "evil";
+  EXPECT_FALSE(c.VerifySignature());
+  EXPECT_EQ(ValidateChain(c, {}, root_.public_key(), 50),
+            CertStatus::kBadSignature);
+}
+
+TEST_F(CertTest, TamperedClaimsDetected) {
+  Certificate c = root_.Issue(CertKind::kFunction, "core", 0,
+                              {{"code", "SELECT COUNT(*)"}}, 0, 100);
+  c.claims["code"] = "SELECT COUNT(*) AS hacked";
+  EXPECT_FALSE(c.VerifySignature());
+}
+
+TEST_F(CertTest, TamperedValidityDetected) {
+  Certificate c = root_.Issue(CertKind::kAgent, "n1", 1, {}, 0, 100);
+  c.not_after = 1e9;
+  EXPECT_FALSE(c.VerifySignature());
+}
+
+TEST_F(CertTest, ExpiryAndNotYetValid) {
+  Certificate c = root_.Issue(CertKind::kAgent, "n1", 1, {}, 10, 100);
+  EXPECT_EQ(ValidateChain(c, {}, root_.public_key(), 5),
+            CertStatus::kNotYetValid);
+  EXPECT_EQ(ValidateChain(c, {}, root_.public_key(), 50), CertStatus::kOk);
+  EXPECT_EQ(ValidateChain(c, {}, root_.public_key(), 200),
+            CertStatus::kExpired);
+}
+
+TEST_F(CertTest, UntrustedIssuerRejected) {
+  util::DeterministicRng other_rng(7);
+  Authority rogue("rogue", GenerateKeyPair(other_rng));
+  Certificate c = rogue.Issue(CertKind::kAgent, "n1", 1, {}, 0, 100);
+  EXPECT_TRUE(c.VerifySignature());  // internally consistent...
+  EXPECT_EQ(ValidateChain(c, {}, root_.public_key(), 50),
+            CertStatus::kUntrustedIssuer);  // ...but not trusted
+}
+
+TEST_F(CertTest, TwoLevelChainValidates) {
+  // root -> zone authority -> agent cert.
+  Certificate zone_cert = root_.Issue(CertKind::kZoneAuthority, "usa",
+                                      zone_.public_key(), {}, 0, 1000);
+  Certificate agent_cert = zone_.Issue(CertKind::kAgent, "n1", 1, {}, 0, 1000);
+  EXPECT_EQ(ValidateChain(agent_cert, {zone_cert}, root_.public_key(), 50),
+            CertStatus::kOk);
+  // Without the intermediate the chain cannot be established.
+  EXPECT_EQ(ValidateChain(agent_cert, {}, root_.public_key(), 50),
+            CertStatus::kUntrustedIssuer);
+}
+
+TEST_F(CertTest, ExpiredIntermediateBreaksChain) {
+  Certificate zone_cert = root_.Issue(CertKind::kZoneAuthority, "usa",
+                                      zone_.public_key(), {}, 0, 10);
+  Certificate agent_cert = zone_.Issue(CertKind::kAgent, "n1", 1, {}, 0, 1000);
+  EXPECT_EQ(ValidateChain(agent_cert, {zone_cert}, root_.public_key(), 500),
+            CertStatus::kUntrustedIssuer);
+}
+
+TEST_F(CertTest, DifferentPayloadsDifferentDigests) {
+  Certificate a = root_.Issue(CertKind::kAgent, "n1", 1, {}, 0, 100);
+  Certificate b = root_.Issue(CertKind::kAgent, "n2", 1, {}, 0, 100);
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST_F(CertTest, SignaturesDependOnKey) {
+  util::DeterministicRng rng2(123);
+  const KeyPair k1 = GenerateKeyPair(rng2);
+  const KeyPair k2 = GenerateKeyPair(rng2);
+  const std::uint64_t digest = 0xabcdef;
+  EXPECT_NE(SignDigest(k1.priv, digest), SignDigest(k2.priv, digest));
+  EXPECT_TRUE(VerifyDigest(k1.pub, digest, SignDigest(k1.priv, digest)));
+  EXPECT_FALSE(VerifyDigest(k2.pub, digest, SignDigest(k1.priv, digest)));
+}
+
+}  // namespace
+}  // namespace nw::astrolabe

@@ -1,0 +1,67 @@
+// Tests for the command-line flag parser used by the scenario tools.
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace nw::util {
+namespace {
+
+Flags Make(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(int(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsAndSpaceSyntax) {
+  Flags f = Make({"--count=5", "--rate", "2.5", "--name", "hello"});
+  EXPECT_EQ(f.GetInt("count", 0), 5);
+  EXPECT_DOUBLE_EQ(f.GetDouble("rate", 0), 2.5);
+  EXPECT_EQ(f.GetString("name", ""), "hello");
+}
+
+TEST(Flags, BareFlagIsBooleanTrue) {
+  Flags f = Make({"--verbose", "--count=3"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_FALSE(f.GetBool("quiet", false));
+}
+
+TEST(Flags, BooleanFalseSpellings) {
+  EXPECT_FALSE(Make({"--x=false"}).GetBool("x", true));
+  EXPECT_FALSE(Make({"--x=0"}).GetBool("x", true));
+  EXPECT_FALSE(Make({"--x=no"}).GetBool("x", true));
+  EXPECT_TRUE(Make({"--x=yes"}).GetBool("x", false));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  Flags f = Make({});
+  EXPECT_EQ(f.GetInt("n", 42), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("d", 1.5), 1.5);
+  EXPECT_EQ(f.GetString("s", "dft"), "dft");
+}
+
+TEST(Flags, BareFlagFollowedByFlagDoesNotSwallow) {
+  Flags f = Make({"--verbose", "--count=3"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_EQ(f.GetInt("count", 0), 3);
+}
+
+TEST(Flags, UnknownFlagsReported) {
+  Flags f = Make({"--known=1", "--typo=2"});
+  EXPECT_EQ(f.GetInt("known", 0), 1);
+  const auto unknown = f.UnknownFlags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Flags, PositionalArguments) {
+  Flags f = Make({"run", "--n=1", "fast"});
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"run", "fast"}));
+}
+
+}  // namespace
+}  // namespace nw::util

@@ -1,0 +1,137 @@
+// Tests for the SQL pretty-printer, including the parse -> print ->
+// parse -> evaluate round-trip property over randomly generated
+// expressions and queries.
+#include <gtest/gtest.h>
+
+#include "astrolabe/sql/eval.h"
+#include "astrolabe/sql/parser.h"
+#include "astrolabe/sql/printer.h"
+#include "util/rng.h"
+
+namespace nw::astrolabe::sql {
+namespace {
+
+TEST(Printer, CanonicalizesExpressions) {
+  EXPECT_EQ(ToString(*ParseExpression("1+2*3")), "(1 + (2 * 3))");
+  EXPECT_EQ(ToString(*ParseExpression("(1+2)*3")), "((1 + 2) * 3)");
+  EXPECT_EQ(ToString(*ParseExpression("NOT a AND b")),
+            "((NOT a) AND b)");
+  EXPECT_EQ(ToString(*ParseExpression("-x")), "(-x)");
+  EXPECT_EQ(ToString(*ParseExpression("BIT(subs, 7)")), "BIT(subs, 7)");
+  EXPECT_EQ(ToString(*ParseExpression("'a' + 'b'")), "('a' + 'b')");
+  EXPECT_EQ(ToString(*ParseExpression("null")), "NULL");
+  EXPECT_EQ(ToString(*ParseExpression("true OR false")), "(TRUE OR FALSE)");
+}
+
+TEST(Printer, CanonicalizesQueries) {
+  const Query q = ParseQuery(
+      "select top(3, contacts order by load) as contacts, sum(nmembers) as "
+      "n, count(*) where load < 0.5");
+  EXPECT_EQ(ToString(q),
+            "SELECT TOP(3, contacts ORDER BY load ASC) AS contacts, "
+            "SUM(nmembers) AS n, COUNT(*) AS col2 WHERE (load < 0.5)");
+}
+
+TEST(Printer, PrintedQueryReparses) {
+  for (const char* src : {
+           "SELECT MIN(a) AS lo, MAX(a) AS hi",
+           "SELECT COUNT(*) AS c WHERE x = 'str' AND y >= 2",
+           "SELECT FIRST(5, contacts) AS f, OR(subs) AS subs",
+           "SELECT AVG(load) AS mean WHERE NOT (a OR b)",
+           "SELECT TOP(2, v ORDER BY k DESC) AS t",
+       }) {
+    const Query q1 = ParseQuery(src);
+    const std::string printed = ToString(q1);
+    const Query q2 = ParseQuery(printed);
+    EXPECT_EQ(printed, ToString(q2)) << src;  // fixpoint after one print
+  }
+}
+
+// ---- randomized round-trip: print(parse(e)) evaluates identically ----
+
+class RoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  ExprPtr RandomExpr(util::DeterministicRng& rng, int depth) {
+    if (depth <= 0 || rng.NextBool(0.3)) {
+      switch (rng.NextBelow(5)) {
+        case 0: return Expr::Literal(AttrValue(std::int64_t(rng.NextBelow(100))));
+        case 1: return Expr::Literal(AttrValue(rng.NextDouble() * 8));
+        case 2: return Expr::Literal(AttrValue(rng.NextBool(0.5)));
+        case 3: return Expr::Attr("a" + std::to_string(rng.NextBelow(4)));
+        default: return Expr::Literal(AttrValue("s" + std::to_string(rng.NextBelow(3))));
+      }
+    }
+    switch (rng.NextBelow(4)) {
+      case 0: {
+        static const BinOp kOps[] = {BinOp::kAdd, BinOp::kSub, BinOp::kMul,
+                                     BinOp::kDiv, BinOp::kEq, BinOp::kNe,
+                                     BinOp::kLt, BinOp::kLe, BinOp::kGt,
+                                     BinOp::kGe, BinOp::kAnd, BinOp::kOr};
+        return Expr::Binary(kOps[rng.NextBelow(12)], RandomExpr(rng, depth - 1),
+                            RandomExpr(rng, depth - 1));
+      }
+      case 1:
+        return Expr::Unary(ExprKind::kUnaryNeg, RandomExpr(rng, depth - 1));
+      case 2:
+        return Expr::Unary(ExprKind::kNot, RandomExpr(rng, depth - 1));
+      default: {
+        std::vector<ExprPtr> args;
+        args.push_back(RandomExpr(rng, depth - 1));
+        args.push_back(RandomExpr(rng, depth - 1));
+        return Expr::Call(rng.NextBool(0.5) ? "COALESCE" : "MINOF",
+                          std::move(args));
+      }
+    }
+  }
+
+  Row RandomRow(util::DeterministicRng& rng) {
+    Row row;
+    for (int i = 0; i < 4; ++i) {
+      const std::string name = "a" + std::to_string(i);
+      switch (rng.NextBelow(4)) {
+        case 0: row[name] = std::int64_t(rng.NextBelow(50)); break;
+        case 1: row[name] = rng.NextDouble(); break;
+        case 2: row[name] = rng.NextBool(0.5); break;
+        default: break;  // leave missing -> null
+      }
+    }
+    return row;
+  }
+};
+
+TEST_P(RoundTripProperty, PrintedExpressionEvaluatesIdentically) {
+  util::DeterministicRng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    ExprPtr original = RandomExpr(rng, 4);
+    const std::string printed = ToString(*original);
+    ExprPtr reparsed;
+    ASSERT_NO_THROW(reparsed = ParseExpression(printed)) << printed;
+    EXPECT_EQ(printed, ToString(*reparsed)) << "print not a fixpoint";
+    for (int r = 0; r < 5; ++r) {
+      Row row = RandomRow(rng);
+      AttrValue a, b;
+      bool threw_a = false, threw_b = false;
+      try {
+        a = EvalScalar(*original, row);
+      } catch (const TypeError&) {
+        threw_a = true;
+      }
+      try {
+        b = EvalScalar(*reparsed, row);
+      } catch (const TypeError&) {
+        threw_b = true;
+      }
+      ASSERT_EQ(threw_a, threw_b) << printed;
+      if (!threw_a) {
+        EXPECT_TRUE((a.IsNull() && b.IsNull()) || a.Equals(b))
+            << printed << " -> " << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Values(3u, 17u, 71u, 337u));
+
+}  // namespace
+}  // namespace nw::astrolabe::sql

@@ -1,0 +1,311 @@
+// Tests for the aggregation SQL dialect: lexer, parser, scalar evaluation
+// and aggregation over tables.
+#include <gtest/gtest.h>
+
+#include "astrolabe/sql/eval.h"
+#include "astrolabe/sql/lexer.h"
+#include "astrolabe/sql/parser.h"
+#include "astrolabe/table.h"
+
+namespace nw::astrolabe::sql {
+namespace {
+
+// ---------- lexer ----------
+
+TEST(Lexer, TokenizesKeywordsCaseInsensitively) {
+  auto toks = Lex("SeLeCt min(x) As y");
+  ASSERT_GE(toks.size(), 7u);
+  EXPECT_EQ(toks[0].kind, TokKind::kSelect);
+  EXPECT_EQ(toks[1].kind, TokKind::kMin);
+  EXPECT_EQ(toks[3].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[3].text, "x");
+  EXPECT_EQ(toks[5].kind, TokKind::kAs);
+}
+
+TEST(Lexer, NumbersAndStrings) {
+  auto toks = Lex("42 3.25 1e3 'hello world'");
+  EXPECT_EQ(toks[0].kind, TokKind::kInt);
+  EXPECT_EQ(toks[0].int_val, 42);
+  EXPECT_EQ(toks[1].kind, TokKind::kDouble);
+  EXPECT_DOUBLE_EQ(toks[1].dbl_val, 3.25);
+  EXPECT_EQ(toks[2].kind, TokKind::kDouble);
+  EXPECT_DOUBLE_EQ(toks[2].dbl_val, 1000.0);
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  EXPECT_EQ(toks[3].text, "hello world");
+}
+
+TEST(Lexer, Operators) {
+  auto toks = Lex("<= >= != <> == = < >");
+  EXPECT_EQ(toks[0].kind, TokKind::kLe);
+  EXPECT_EQ(toks[1].kind, TokKind::kGe);
+  EXPECT_EQ(toks[2].kind, TokKind::kNe);
+  EXPECT_EQ(toks[3].kind, TokKind::kNe);
+  EXPECT_EQ(toks[4].kind, TokKind::kEq);
+  EXPECT_EQ(toks[5].kind, TokKind::kEq);
+  EXPECT_EQ(toks[6].kind, TokKind::kLt);
+  EXPECT_EQ(toks[7].kind, TokKind::kGt);
+}
+
+TEST(Lexer, RejectsMalformedInput) {
+  EXPECT_THROW(Lex("'unterminated"), ParseError);
+  EXPECT_THROW(Lex("a ! b"), ParseError);
+  EXPECT_THROW(Lex("#"), ParseError);
+}
+
+// ---------- parser ----------
+
+TEST(Parser, ParsesDefaultCoreShape) {
+  Query q = ParseQuery(
+      "SELECT TOP(3, contacts ORDER BY load ASC) AS contacts, "
+      "SUM(nmembers) AS nmembers, AVG(load) AS load");
+  ASSERT_EQ(q.items.size(), 3u);
+  EXPECT_EQ(q.items[0].agg, AggKind::kTop);
+  EXPECT_EQ(q.items[0].k, 3);
+  EXPECT_EQ(q.items[0].out_name, "contacts");
+  EXPECT_FALSE(q.items[0].descending);
+  EXPECT_EQ(q.items[1].agg, AggKind::kSum);
+  EXPECT_EQ(q.items[2].agg, AggKind::kAvg);
+}
+
+TEST(Parser, DefaultOutputNames) {
+  Query q = ParseQuery("SELECT MAX(load), COUNT(*)");
+  EXPECT_EQ(q.items[0].out_name, "load");
+  EXPECT_EQ(q.items[1].out_name, "col1");
+}
+
+TEST(Parser, DuplicateOutputNamesRejected) {
+  EXPECT_THROW(ParseQuery("SELECT MAX(x), MIN(x)"), ParseError);
+  EXPECT_NO_THROW(ParseQuery("SELECT MAX(x) AS a, MIN(x) AS b"));
+}
+
+TEST(Parser, WhereClause) {
+  Query q = ParseQuery("SELECT COUNT(*) WHERE load < 0.5 AND alive = true");
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->kind, ExprKind::kBinary);
+  EXPECT_EQ(q.where->op, BinOp::kAnd);
+}
+
+TEST(Parser, RejectsMalformedQueries) {
+  EXPECT_THROW(ParseQuery("MAX(x)"), ParseError);            // no SELECT
+  EXPECT_THROW(ParseQuery("SELECT x"), ParseError);          // bare attr
+  EXPECT_THROW(ParseQuery("SELECT MAX(x"), ParseError);      // unbalanced
+  EXPECT_THROW(ParseQuery("SELECT FIRST(0, x)"), ParseError);  // k <= 0
+  EXPECT_THROW(ParseQuery("SELECT TOP(2, x)"), ParseError);  // missing ORDER
+  EXPECT_THROW(ParseQuery("SELECT MAX(x) trailing"), ParseError);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  // 1 + 2 * 3 = 7, not 9.
+  auto e = ParseExpression("1 + 2 * 3");
+  EXPECT_EQ(EvalScalar(*e, {}).AsInt(), 7);
+  e = ParseExpression("(1 + 2) * 3");
+  EXPECT_EQ(EvalScalar(*e, {}).AsInt(), 9);
+  e = ParseExpression("2 + 3 < 6 AND NOT false");
+  EXPECT_TRUE(EvalScalar(*e, {}).AsBool());
+}
+
+// ---------- scalar evaluation ----------
+
+Row MakeRow() {
+  Row r;
+  r["load"] = 0.25;
+  r["n"] = std::int64_t{4};
+  r["name"] = "ithaca";
+  r["alive"] = true;
+  BitVector bv(64);
+  bv.Set(7);
+  r["subs"] = bv;
+  r["contacts"] = ValueList{AttrValue(std::int64_t{1}), AttrValue(std::int64_t{2})};
+  return r;
+}
+
+TEST(Eval, AttributeLookupAndArithmetic) {
+  Row r = MakeRow();
+  EXPECT_DOUBLE_EQ(EvalScalar(*ParseExpression("load * 4"), r).AsDouble(), 1.0);
+  EXPECT_EQ(EvalScalar(*ParseExpression("n + 1"), r).AsInt(), 5);
+  EXPECT_EQ(EvalScalar(*ParseExpression("n % 3"), r).AsInt(), 1);
+  EXPECT_EQ(EvalScalar(*ParseExpression("-n"), r).AsInt(), -4);
+}
+
+TEST(Eval, MissingAttributeIsNullAndPropagates) {
+  Row r = MakeRow();
+  EXPECT_TRUE(EvalScalar(*ParseExpression("missing"), r).IsNull());
+  EXPECT_TRUE(EvalScalar(*ParseExpression("missing + 1"), r).IsNull());
+  EXPECT_TRUE(EvalScalar(*ParseExpression("missing = 1"), r).IsNull());
+}
+
+TEST(Eval, ThreeValuedLogic) {
+  Row r;  // everything missing
+  // false AND null = false; true OR null = true.
+  EXPECT_FALSE(EvalScalar(*ParseExpression("false AND missing"), r).AsBool());
+  EXPECT_TRUE(EvalScalar(*ParseExpression("true OR missing"), r).AsBool());
+  EXPECT_TRUE(EvalScalar(*ParseExpression("true AND missing"), r).IsNull());
+}
+
+TEST(Eval, DivisionByZeroYieldsNull) {
+  EXPECT_TRUE(EvalScalar(*ParseExpression("1 / 0"), {}).IsNull());
+  EXPECT_TRUE(EvalScalar(*ParseExpression("1 % 0"), {}).IsNull());
+}
+
+TEST(Eval, StringOps) {
+  Row r = MakeRow();
+  EXPECT_TRUE(EvalScalar(*ParseExpression("name = 'ithaca'"), r).AsBool());
+  EXPECT_EQ(EvalScalar(*ParseExpression("name + '-x'"), r).AsString(),
+            "ithaca-x");
+  EXPECT_TRUE(
+      EvalScalar(*ParseExpression("CONTAINS(name, 'thac')"), r).AsBool());
+  EXPECT_EQ(EvalScalar(*ParseExpression("LEN(name)"), r).AsInt(), 6);
+}
+
+TEST(Eval, Builtins) {
+  Row r = MakeRow();
+  EXPECT_TRUE(EvalScalar(*ParseExpression("BIT(subs, 7)"), r).AsBool());
+  EXPECT_FALSE(EvalScalar(*ParseExpression("BIT(subs, 8)"), r).AsBool());
+  EXPECT_FALSE(EvalScalar(*ParseExpression("BIT(subs, 9999)"), r).AsBool());
+  EXPECT_TRUE(EvalScalar(*ParseExpression("CONTAINS(contacts, 2)"), r).AsBool());
+  EXPECT_FALSE(EvalScalar(*ParseExpression("CONTAINS(contacts, 3)"), r).AsBool());
+  EXPECT_EQ(EvalScalar(*ParseExpression("COALESCE(missing, n)"), r).AsInt(), 4);
+  EXPECT_EQ(EvalScalar(*ParseExpression("IF(alive, 1, 2)"), r).AsInt(), 1);
+  EXPECT_EQ(EvalScalar(*ParseExpression("MINOF(n, 2)"), r).AsInt(), 2);
+  EXPECT_EQ(EvalScalar(*ParseExpression("MAXOF(n, 2)"), r).AsInt(), 4);
+  EXPECT_TRUE(EvalScalar(*ParseExpression("ISNULL(missing)"), r).AsBool());
+  EXPECT_THROW(EvalScalar(*ParseExpression("NOSUCHFN(1)"), r), TypeError);
+}
+
+TEST(Eval, PredicateMapsNullAndErrorsToFalse) {
+  Row r = MakeRow();
+  EXPECT_FALSE(EvalPredicate(*ParseExpression("missing > 1"), r));
+  EXPECT_FALSE(EvalPredicate(*ParseExpression("name > 1"), r));  // type error
+  EXPECT_TRUE(EvalPredicate(*ParseExpression("n > 1"), r));
+}
+
+// ---------- aggregation ----------
+
+Table MakeTable() {
+  Table t;
+  auto add = [&](const std::string& key, double load, std::int64_t members,
+                 std::int64_t contact) {
+    RowEntry e;
+    e.attrs["load"] = load;
+    e.attrs["nmembers"] = members;
+    e.attrs["contacts"] = ValueList{AttrValue(contact)};
+    BitVector bv(16);
+    bv.Set(static_cast<std::size_t>(contact));
+    e.attrs["subs"] = bv;
+    e.version = 1;
+    t.MergeEntry(key, e, 0.0);
+  };
+  add("a", 0.9, 10, 1);
+  add("b", 0.1, 20, 2);
+  add("c", 0.5, 30, 3);
+  return t;
+}
+
+TEST(Agg, MinMaxSumAvgCount) {
+  Table t = MakeTable();
+  Row r = EvalQuery(ParseQuery("SELECT MIN(load) AS lo, MAX(load) AS hi, "
+                               "SUM(nmembers) AS n, AVG(load) AS avg, "
+                               "COUNT(*) AS cnt"),
+                    t);
+  EXPECT_DOUBLE_EQ(r.at("lo").AsDouble(), 0.1);
+  EXPECT_DOUBLE_EQ(r.at("hi").AsDouble(), 0.9);
+  EXPECT_EQ(r.at("n").AsInt(), 60);
+  EXPECT_NEAR(r.at("avg").AsDouble(), 0.5, 1e-9);
+  EXPECT_EQ(r.at("cnt").AsInt(), 3);
+}
+
+TEST(Agg, WhereFiltersRows) {
+  Table t = MakeTable();
+  Row r = EvalQuery(
+      ParseQuery("SELECT SUM(nmembers) AS n, COUNT(*) AS c WHERE load < 0.6"),
+      t);
+  EXPECT_EQ(r.at("n").AsInt(), 50);
+  EXPECT_EQ(r.at("c").AsInt(), 2);
+}
+
+TEST(Agg, OrAggregatesBitVectors) {
+  Table t = MakeTable();
+  Row r = EvalQuery(ParseQuery("SELECT OR(subs) AS subs"), t);
+  const BitVector& bv = r.at("subs").AsBits();
+  EXPECT_TRUE(bv.Test(1));
+  EXPECT_TRUE(bv.Test(2));
+  EXPECT_TRUE(bv.Test(3));
+  EXPECT_EQ(bv.PopCount(), 3u);
+}
+
+TEST(Agg, OrAndOverIntMasks) {
+  Table t;
+  RowEntry e1, e2;
+  e1.attrs["mask"] = std::int64_t{0b0011};
+  e2.attrs["mask"] = std::int64_t{0b0110};
+  e1.version = e2.version = 1;
+  t.MergeEntry("x", e1, 0.0);
+  t.MergeEntry("y", e2, 0.0);
+  Row r = EvalQuery(ParseQuery("SELECT OR(mask) AS u, AND(mask) AS i"), t);
+  EXPECT_EQ(r.at("u").AsInt(), 0b0111);
+  EXPECT_EQ(r.at("i").AsInt(), 0b0010);
+}
+
+TEST(Agg, TopOrdersAndFlattensContactLists) {
+  Table t = MakeTable();
+  Row r = EvalQuery(
+      ParseQuery("SELECT TOP(2, contacts ORDER BY load ASC) AS reps"), t);
+  const ValueList& reps = r.at("reps").AsList();
+  ASSERT_EQ(reps.size(), 2u);
+  EXPECT_EQ(reps[0].AsInt(), 2);  // load 0.1
+  EXPECT_EQ(reps[1].AsInt(), 3);  // load 0.5
+}
+
+TEST(Agg, TopDescending) {
+  Table t = MakeTable();
+  Row r = EvalQuery(
+      ParseQuery("SELECT TOP(1, contacts ORDER BY nmembers DESC) AS reps"), t);
+  EXPECT_EQ(r.at("reps").AsList()[0].AsInt(), 3);  // 30 members
+}
+
+TEST(Agg, FirstCollectsUpToK) {
+  Table t = MakeTable();
+  Row r = EvalQuery(ParseQuery("SELECT FIRST(5, contacts) AS all_contacts"), t);
+  EXPECT_EQ(r.at("all_contacts").AsList().size(), 3u);
+  r = EvalQuery(ParseQuery("SELECT FIRST(2, contacts) AS some"), t);
+  EXPECT_EQ(r.at("some").AsList().size(), 2u);
+}
+
+TEST(Agg, NullColumnsAreOmitted) {
+  Table t = MakeTable();
+  Row r = EvalQuery(ParseQuery("SELECT MAX(missing) AS m, SUM(missing) AS s"), t);
+  EXPECT_FALSE(r.contains("m"));   // MAX of nothing -> omitted
+  EXPECT_EQ(r.at("s").AsInt(), 0); // SUM of nothing -> 0
+}
+
+TEST(Agg, MixedTypeRowsSkippedNotFatal) {
+  Table t = MakeTable();
+  RowEntry bad;
+  bad.attrs["load"] = "not-a-number";
+  bad.version = 1;
+  t.MergeEntry("weird", bad, 0.0);
+  Row r = EvalQuery(ParseQuery("SELECT AVG(load) AS avg, COUNT(*) AS c"), t);
+  EXPECT_NEAR(r.at("avg").AsDouble(), 0.5, 1e-9);  // bad row skipped
+  EXPECT_EQ(r.at("c").AsInt(), 4);                 // but still counted by *
+}
+
+TEST(Agg, EmptyTable) {
+  Table t;
+  Row r = EvalQuery(ParseQuery("SELECT COUNT(*) AS c, SUM(x) AS s, MAX(x) AS m"), t);
+  EXPECT_EQ(r.at("c").AsInt(), 0);
+  EXPECT_EQ(r.at("s").AsInt(), 0);
+  EXPECT_FALSE(r.contains("m"));
+}
+
+TEST(Agg, CountExprCountsNonNull) {
+  Table t = MakeTable();
+  RowEntry partial;
+  partial.version = 1;  // no attrs at all
+  t.MergeEntry("empty", partial, 0.0);
+  Row r = EvalQuery(ParseQuery("SELECT COUNT(load) AS c, COUNT(*) AS all_c"), t);
+  EXPECT_EQ(r.at("c").AsInt(), 3);
+  EXPECT_EQ(r.at("all_c").AsInt(), 4);
+}
+
+}  // namespace
+}  // namespace nw::astrolabe::sql

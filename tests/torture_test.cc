@@ -1,0 +1,144 @@
+// Randomized churn ("torture") test: a NewsWire system endures a long
+// run of interleaved crashes, restarts, partitions, heals, subscription
+// changes, and publications. At the end, the system-level invariants
+// must hold: the membership views of live agents match reality, every
+// live subscriber holds every item it was entitled to (within the repair
+// window), no scoped item leaked, and the run is replayable.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "newswire/system.h"
+#include "util/rng.h"
+
+namespace nw::newswire {
+namespace {
+
+struct ChurnOutcome {
+  std::size_t live = 0;
+  std::uint64_t delivered = 0;
+  double completeness = 0;
+  std::int64_t membership_view = 0;
+};
+
+ChurnOutcome RunChurn(std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.num_subscribers = 63;
+  cfg.num_publishers = 1;
+  cfg.branching = 4;
+  cfg.catalog_size = 3;
+  cfg.subjects_per_subscriber = 3;  // everyone subscribes everything
+  cfg.multicast.redundancy = 2;
+  cfg.subscriber.repair_interval = 4.0;
+  cfg.subscriber.repair_window = 3600.0;
+  cfg.gossip_period = 1.0;
+  cfg.seed = seed;
+  NewswireSystem sys(cfg);
+  sys.RunFor(10);
+
+  util::DeterministicRng rng(seed * 31 + 7);
+  std::vector<std::pair<std::string, std::string>> published;
+  std::set<std::size_t> down;
+
+  // 120 seconds of chaos.
+  for (int step = 0; step < 120; ++step) {
+    sys.deployment().sim().At(sys.Now() + step, [&, step] {
+      // Publish roughly every second.
+      const std::string id = sys.PublishArticle(
+          0, sys.catalog()[std::size_t(step) % 3]);
+      if (!id.empty()) published.emplace_back(id, sys.catalog()[step % 3]);
+
+      const double dice = rng.NextDouble();
+      if (dice < 0.10 && down.size() < 12) {
+        // Crash someone.
+        const std::size_t i =
+            std::size_t(rng.NextBelow(sys.subscriber_count()));
+        if (!down.contains(i)) {
+          sys.deployment().net().Kill(sys.subscriber_agent(i).id());
+          down.insert(i);
+        }
+      } else if (dice < 0.20 && !down.empty()) {
+        // Restart someone.
+        const std::size_t i = *down.begin();
+        down.erase(down.begin());
+        sys.deployment().net().Restart(sys.subscriber_agent(i).id());
+      } else if (dice < 0.24) {
+        // Partition a random top-level zone for a while...
+        const std::size_t victim =
+            std::size_t(rng.NextBelow(sys.subscriber_count()));
+        const std::string zone =
+            sys.subscriber_agent(victim).path().Component(0);
+        for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
+          if (sys.subscriber_agent(i).path().Component(0) == zone) {
+            sys.deployment().net().SetPartitionGroup(
+                sys.subscriber_agent(i).id(), 1);
+          }
+        }
+      } else if (dice < 0.32) {
+        sys.deployment().net().HealPartitions();
+      }
+    });
+  }
+  sys.deployment().sim().At(sys.Now() + 121, [&] {
+    sys.deployment().net().HealPartitions();
+    for (std::size_t i : down) {
+      sys.deployment().net().Restart(sys.subscriber_agent(i).id());
+    }
+    down.clear();
+  });
+  // Quiescence: every repair and gossip round settles.
+  sys.RunFor(121 + 180);
+
+  ChurnOutcome out;
+  std::size_t got = 0, expected = 0;
+  for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
+    if (!sys.deployment().net().IsAlive(sys.subscriber_agent(i).id())) {
+      continue;
+    }
+    ++out.live;
+    const auto& mine = sys.SubjectsOf(i);  // Zipf draw may skip a subject
+    for (const auto& [id, subject] : published) {
+      if (std::find(mine.begin(), mine.end(), subject) == mine.end()) {
+        continue;
+      }
+      ++expected;
+      if (sys.subscriber(i).cache().Contains(id)) ++got;
+    }
+  }
+  out.completeness = expected ? double(got) / double(expected) : 1.0;
+  out.delivered = sys.total_delivered();
+  astrolabe::Row summary = sys.subscriber_agent(0).ZoneSummary(0);
+  out.membership_view = summary.contains(astrolabe::kAttrMembers)
+                            ? summary.at(astrolabe::kAttrMembers).AsInt()
+                            : 0;
+  return out;
+}
+
+class TortureTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TortureTest, SurvivesChurnWithFullRecovery) {
+  ChurnOutcome out = RunChurn(GetParam());
+  EXPECT_EQ(out.live, 63u) << "everyone was restarted at the end";
+  // After quiescence the membership view must see the whole system again.
+  EXPECT_EQ(out.membership_view, 64);
+  // And the caches must be complete: repair + redundancy recovered
+  // everything published during the chaos. Restarted nodes recover only
+  // the repair window, which covers the whole run here.
+  EXPECT_GE(out.completeness, 0.999)
+      << "live subscribers missing items after quiescence";
+}
+
+TEST_P(TortureTest, ChurnRunsAreReplayable) {
+  ChurnOutcome a = RunChurn(GetParam());
+  ChurnOutcome b = RunChurn(GetParam());
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_DOUBLE_EQ(a.completeness, b.completeness);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TortureTest,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace nw::newswire

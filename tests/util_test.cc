@@ -1,0 +1,145 @@
+// Unit tests for hashing, RNG, statistics, and token-bucket utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/token_bucket.h"
+
+namespace nw::util {
+namespace {
+
+TEST(Hash, Fnv1aIsStableAndSensitive) {
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_NE(Fnv1a64("sports"), Fnv1a64("sport"));
+  EXPECT_EQ(Fnv1a64("sports"), Fnv1a64("sports"));
+}
+
+TEST(Hash, SeededHashesAreIndependent) {
+  const auto a = HashWithSeed("politics", 1);
+  const auto b = HashWithSeed("politics", 2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, HashWithSeed("politics", 1));
+}
+
+TEST(Hash, Mix64HasNoObviousFixedPointAtZero) {
+  EXPECT_NE(Mix64(0), 0u);
+  EXPECT_NE(Mix64(1), Mix64(2));
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  DeterministicRng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  DeterministicRng a(42);
+  auto c1 = a.Fork(1);
+  auto c2 = a.Fork(2);
+  EXPECT_NE(c1.NextU64(), c2.NextU64());
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  DeterministicRng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+  }
+  // All values reachable.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBelow(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  DeterministicRng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  DeterministicRng rng(11);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextExponential(3.0);
+  EXPECT_NEAR(sum / kN, 3.0, 0.1);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  DeterministicRng rng(13);
+  int low = 0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.NextZipf(100, 1.0) < 10) ++low;
+  }
+  // With s=1 the first 10 of 100 ranks carry well over a third of the mass.
+  EXPECT_GT(double(low) / kN, 0.4);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  DeterministicRng rng(15);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Stats, SummaryQuantities) {
+  SampleStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.Add(x);
+  EXPECT_EQ(s.Count(), 5u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+}
+
+TEST(Stats, PercentileNearestRank) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 50.0);
+}
+
+TEST(Stats, EmptyIsSafe) {
+  SampleStats s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(TokenBucket, AllowsBurstThenThrottles) {
+  TokenBucket tb(/*rate=*/1.0, /*burst=*/2.0);
+  EXPECT_TRUE(tb.TryConsume(0.0));
+  EXPECT_TRUE(tb.TryConsume(0.0));
+  EXPECT_FALSE(tb.TryConsume(0.0));   // burst exhausted
+  EXPECT_TRUE(tb.TryConsume(1.0));    // one token refilled after 1s
+  EXPECT_FALSE(tb.TryConsume(1.0));
+}
+
+TEST(TokenBucket, RefillCapsAtBurst) {
+  TokenBucket tb(10.0, 3.0);
+  ASSERT_TRUE(tb.TryConsume(0.0, 3.0));
+  // After a long idle period only `burst` tokens are available.
+  EXPECT_NEAR(tb.AvailableTokens(100.0), 3.0, 1e-9);
+}
+
+TEST(TokenBucket, FractionalCosts) {
+  TokenBucket tb(1.0, 1.0);
+  EXPECT_TRUE(tb.TryConsume(0.0, 0.5));
+  EXPECT_TRUE(tb.TryConsume(0.0, 0.5));
+  EXPECT_FALSE(tb.TryConsume(0.0, 0.5));
+}
+
+}  // namespace
+}  // namespace nw::util

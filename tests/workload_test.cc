@@ -1,0 +1,127 @@
+// Tests for the synthetic news workload generator.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "newswire/system.h"
+#include "newswire/workload.h"
+
+namespace nw::newswire {
+namespace {
+
+SystemConfig SmallSystem() {
+  SystemConfig cfg;
+  cfg.num_subscribers = 30;
+  cfg.num_publishers = 2;
+  cfg.branching = 4;
+  cfg.catalog_size = 2;
+  cfg.subjects_per_subscriber = 2;  // everyone gets everything
+  cfg.seed = 6;
+  return cfg;
+}
+
+TEST(Workload, RateAtFollowsDiurnalCurve) {
+  NewswireSystem sys(SmallSystem());
+  WorkloadConfig wl;
+  wl.diurnal_amplitude = 0.5;
+  wl.day_seconds = 1000;
+  NewsWorkload workload(sys, wl);
+  EXPECT_NEAR(workload.RateAt(0), 1.0, 1e-9);
+  EXPECT_NEAR(workload.RateAt(250), 1.5, 1e-9);   // sin peak
+  EXPECT_NEAR(workload.RateAt(750), 0.5, 1e-9);   // sin trough
+}
+
+TEST(Workload, SchedulesRoughlyTheConfiguredVolume) {
+  NewswireSystem sys(SmallSystem());
+  sys.RunFor(5);
+  WorkloadConfig wl;
+  wl.duration = 3600;
+  wl.base_items_per_hour = 120;
+  wl.bursts_per_hour = 0;
+  wl.revision_prob = 0;
+  wl.seed = 7;
+  NewsWorkload workload(sys, wl);
+  workload.ScheduleAll();
+  EXPECT_NEAR(double(workload.stats().routine_scheduled), 120.0, 40.0);
+  sys.RunFor(3700);
+  EXPECT_EQ(workload.published().size(), workload.stats().routine_scheduled);
+}
+
+TEST(Workload, BurstsAreUrgentAndClustered) {
+  NewswireSystem sys(SmallSystem());
+  sys.RunFor(5);
+  WorkloadConfig wl;
+  wl.duration = 3600;
+  wl.base_items_per_hour = 10;
+  wl.bursts_per_hour = 4;
+  wl.burst_items = 5;
+  wl.burst_span = 60;
+  wl.revision_prob = 0;
+  wl.seed = 11;
+  NewsWorkload workload(sys, wl);
+  workload.ScheduleAll();
+  ASSERT_GT(workload.stats().bursts, 0u);
+  sys.RunFor(3700);
+  // All burst items of one burst share a subject and fall within the span.
+  std::map<std::string, std::vector<double>> burst_times_by_subject;
+  for (const auto& p : workload.published()) {
+    if (p.burst) burst_times_by_subject[p.subject].push_back(p.at);
+  }
+  EXPECT_FALSE(burst_times_by_subject.empty());
+}
+
+TEST(Workload, RevisionsSupersedeAndFuse) {
+  NewswireSystem sys(SmallSystem());
+  sys.RunFor(5);
+  WorkloadConfig wl;
+  wl.duration = 600;
+  wl.base_items_per_hour = 120;
+  wl.bursts_per_hour = 0;
+  wl.revision_prob = 1.0;  // every item gets a revision
+  wl.revision_delay_mean = 30;
+  wl.seed = 13;
+  NewsWorkload workload(sys, wl);
+  workload.ScheduleAll();
+  sys.RunFor(1200);
+  ASSERT_GT(workload.stats().revisions_scheduled, 0u);
+  std::uint64_t fused = 0;
+  for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
+    fused += sys.subscriber(i).cache().stats().superseded_dropped;
+  }
+  EXPECT_GT(fused, 0u) << "revisions should displace their originals";
+}
+
+TEST(Workload, DeterministicSchedule) {
+  auto run = [] {
+    NewswireSystem sys(SmallSystem());
+    sys.RunFor(5);
+    WorkloadConfig wl;
+    wl.duration = 600;
+    wl.seed = 99;
+    NewsWorkload workload(sys, wl);
+    workload.ScheduleAll();
+    sys.RunFor(700);
+    return workload.published().size();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Workload, ThrottledPublishesAreCounted) {
+  SystemConfig cfg = SmallSystem();
+  cfg.publisher_rate = 0.01;  // nearly everything throttled
+  cfg.publisher_burst = 1.0;
+  NewswireSystem sys(cfg);
+  sys.RunFor(5);
+  WorkloadConfig wl;
+  wl.duration = 600;
+  wl.base_items_per_hour = 600;
+  wl.revision_prob = 0;
+  NewsWorkload workload(sys, wl);
+  workload.ScheduleAll();
+  sys.RunFor(700);
+  EXPECT_GT(workload.stats().throttled, 0u);
+  EXPECT_LT(workload.published().size(), workload.stats().routine_scheduled);
+}
+
+}  // namespace
+}  // namespace nw::newswire

@@ -1,0 +1,171 @@
+// newswire_sim — scenario driver for the NewsWire simulator.
+//
+// The paper (§10) envisions a downloadable application that inserts a
+// machine into the collaborative delivery network; this tool is the
+// operator-facing equivalent for the simulated system: describe a
+// scenario on the command line, run it deterministically, read the
+// delivery report.
+//
+// Examples:
+//   newswire_sim --subscribers 5000 --branching 16 --duration 120 \
+//                --items-per-sec 2
+//   newswire_sim --subscribers 300 --loss 0.1 --redundancy 2 \
+//                --kill-frac 0.2 --kill-at 30 --repair-interval 5
+//   newswire_sim --subscribers 200 --hierarchical --catalog 50
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "newswire/system.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+using namespace nw;
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "newswire_sim — deterministic NewsWire scenario driver\n\n"
+      "  --subscribers N       leaf subscribers (default 256)\n"
+      "  --publishers P        publishers (default 1)\n"
+      "  --branching B         zone fan-out (default 8)\n"
+      "  --gossip-period S     epidemic period in seconds (default 2)\n"
+      "  --loss F              per-message loss probability (default 0)\n"
+      "  --duration S          publishing phase length (default 60)\n"
+      "  --items-per-sec R     publication rate across publishers (default 1)\n"
+      "  --body-bytes B        article body size (default 2048)\n"
+      "  --catalog N           distinct subjects (default 16)\n"
+      "  --subs-per-node K     subscriptions per subscriber (default 3)\n"
+      "  --redundancy K        representatives per forward (default 1)\n"
+      "  --repair-interval S   cache anti-entropy period, 0=off (default 10)\n"
+      "  --kill-frac F         fraction of subscribers to crash (default 0)\n"
+      "  --kill-at S           crash time within the run (default 30)\n"
+      "  --hierarchical        subjects form a dot hierarchy (see §7)\n"
+      "  --verify              publisher signature verification on\n"
+      "  --bloom-bits N        subscription filter size (default 1024)\n"
+      "  --seed N              replay seed (default 1)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    PrintUsage();
+    return 0;
+  }
+
+  newswire::SystemConfig cfg;
+  cfg.num_subscribers = std::size_t(flags.GetInt("subscribers", 256));
+  cfg.num_publishers = std::size_t(flags.GetInt("publishers", 1));
+  cfg.branching = std::size_t(flags.GetInt("branching", 8));
+  cfg.gossip_period = flags.GetDouble("gossip-period", 2.0);
+  cfg.net.loss_prob = flags.GetDouble("loss", 0.0);
+  cfg.body_bytes = std::size_t(flags.GetInt("body-bytes", 2048));
+  cfg.catalog_size = std::size_t(flags.GetInt("catalog", 16));
+  cfg.subjects_per_subscriber = std::size_t(flags.GetInt("subs-per-node", 3));
+  cfg.multicast.redundancy = int(flags.GetInt("redundancy", 1));
+  cfg.subscriber.repair_interval = flags.GetDouble("repair-interval", 10.0);
+  cfg.subscriber.repair_window = 3600.0;
+  cfg.hierarchical_subjects = flags.GetBool("hierarchical", false);
+  cfg.verify_publishers = flags.GetBool("verify", false);
+  cfg.bloom.bits = std::size_t(flags.GetInt("bloom-bits", 1024));
+  cfg.seed = std::uint64_t(flags.GetInt("seed", 1));
+  const double duration = flags.GetDouble("duration", 60.0);
+  const double items_per_sec = flags.GetDouble("items-per-sec", 1.0);
+  const double kill_frac = flags.GetDouble("kill-frac", 0.0);
+  const double kill_at = flags.GetDouble("kill-at", 30.0);
+
+  const auto unknown = flags.UnknownFlags();
+  // Query all flags first (done above), then reject leftovers.
+  if (!unknown.empty()) {
+    for (const auto& name : unknown) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    }
+    PrintUsage();
+    return 2;
+  }
+
+  std::printf(
+      "scenario: %zu subscribers, %zu publishers, branching %zu, loss %.0f%%, "
+      "%.1f items/s for %.0fs%s%s\n",
+      cfg.num_subscribers, cfg.num_publishers, cfg.branching,
+      100 * cfg.net.loss_prob, items_per_sec, duration,
+      kill_frac > 0 ? ", with crashes" : "",
+      cfg.hierarchical_subjects ? ", hierarchical subjects" : "");
+
+  newswire::NewswireSystem sys(cfg);
+  std::printf("tree depth %zu; converging subscriptions...\n",
+              sys.deployment().Depth());
+  sys.RunFor(15);
+
+  // Publishing schedule.
+  util::DeterministicRng rng(cfg.seed ^ 0xC11);
+  const double t0 = sys.Now();
+  const int total_items = int(duration * items_per_sec);
+  for (int k = 0; k < total_items; ++k) {
+    sys.deployment().sim().At(t0 + k / items_per_sec, [&sys, &rng, k] {
+      sys.PublishArticle(std::size_t(k) % sys.publisher_count(),
+                         sys.RandomSubject());
+      (void)rng;
+    });
+  }
+  if (kill_frac > 0) {
+    sys.deployment().sim().At(t0 + kill_at, [&] {
+      util::DeterministicRng kill_rng(cfg.seed ^ 0xDEAD);
+      std::size_t killed = 0;
+      const std::size_t want =
+          std::size_t(kill_frac * double(sys.subscriber_count()));
+      while (killed < want) {
+        const std::size_t i =
+            std::size_t(kill_rng.NextBelow(sys.subscriber_count()));
+        if (sys.deployment().net().IsAlive(sys.subscriber_agent(i).id())) {
+          sys.deployment().net().Kill(sys.subscriber_agent(i).id());
+          ++killed;
+        }
+      }
+      std::printf("t=%.0fs: crashed %zu subscribers\n", sys.Now(), killed);
+    });
+  }
+  sys.RunFor(duration + 60);  // stream + settle/repair time
+
+  // ---- report ----
+  std::uint64_t published = 0, throttled = 0;
+  double pub_bytes = 0;
+  for (std::size_t j = 0; j < sys.publisher_count(); ++j) {
+    published += sys.publisher(j).stats().published;
+    throttled += sys.publisher(j).stats().throttled;
+    pub_bytes += double(sys.PublisherTraffic(j).bytes_sent);
+  }
+  std::uint64_t repaired = 0, fp = 0, relays = 0, dups = 0, forwards = 0;
+  for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
+    repaired += sys.subscriber(i).stats().repaired;
+  }
+  for (std::size_t i = 0; i < sys.node_count(); ++i) {
+    fp += sys.pubsub_at(i).stats().false_positives;
+    relays += sys.pubsub_at(i).stats().relay_discards;
+    dups += sys.multicast_at(i).stats().duplicates;
+    forwards += sys.multicast_at(i).stats().forwards;
+  }
+  const auto total = sys.deployment().net().TotalStats();
+  const auto& lat = sys.latencies();
+
+  util::TablePrinter report({"metric", "value"});
+  report.AddRow({"items published", util::TablePrinter::Int(long(published))});
+  report.AddRow({"items throttled", util::TablePrinter::Int(long(throttled))});
+  report.AddRow({"deliveries", util::TablePrinter::Int(long(sys.total_delivered()))});
+  report.AddRow({"latency p50 ms", util::TablePrinter::Num(lat.Percentile(50) * 1e3, 0)});
+  report.AddRow({"latency p99 ms", util::TablePrinter::Num(lat.Percentile(99) * 1e3, 0)});
+  report.AddRow({"latency max s", util::TablePrinter::Num(lat.Max(), 2)});
+  report.AddRow({"anti-entropy repairs", util::TablePrinter::Int(long(repaired))});
+  report.AddRow({"bloom false positives", util::TablePrinter::Int(long(fp))});
+  report.AddRow({"relay-only discards", util::TablePrinter::Int(long(relays))});
+  report.AddRow({"duplicate suppressions", util::TablePrinter::Int(long(dups))});
+  report.AddRow({"forwarding sends", util::TablePrinter::Int(long(forwards))});
+  report.AddRow({"publisher egress MB", util::TablePrinter::Num(pub_bytes / 1e6, 2)});
+  report.AddRow({"total network GB", util::TablePrinter::Num(double(total.bytes_sent) / 1e9, 3)});
+  report.Print();
+  return 0;
+}
