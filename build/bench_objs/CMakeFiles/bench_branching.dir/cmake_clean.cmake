@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_branching"
+  "../bench/bench_branching.pdb"
+  "CMakeFiles/bench_branching.dir/bench_branching.cc.o"
+  "CMakeFiles/bench_branching.dir/bench_branching.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_branching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

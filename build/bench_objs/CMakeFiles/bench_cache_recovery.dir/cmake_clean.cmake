@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cache_recovery"
+  "../bench/bench_cache_recovery.pdb"
+  "CMakeFiles/bench_cache_recovery.dir/bench_cache_recovery.cc.o"
+  "CMakeFiles/bench_cache_recovery.dir/bench_cache_recovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

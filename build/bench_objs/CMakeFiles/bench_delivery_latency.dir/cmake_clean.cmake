@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_delivery_latency"
+  "../bench/bench_delivery_latency.pdb"
+  "CMakeFiles/bench_delivery_latency.dir/bench_delivery_latency.cc.o"
+  "CMakeFiles/bench_delivery_latency.dir/bench_delivery_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delivery_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_filter_cost"
+  "../bench/bench_filter_cost.pdb"
+  "CMakeFiles/bench_filter_cost.dir/bench_filter_cost.cc.o"
+  "CMakeFiles/bench_filter_cost.dir/bench_filter_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filter_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

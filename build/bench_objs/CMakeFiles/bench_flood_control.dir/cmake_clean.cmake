@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_flood_control"
+  "../bench/bench_flood_control.pdb"
+  "CMakeFiles/bench_flood_control.dir/bench_flood_control.cc.o"
+  "CMakeFiles/bench_flood_control.dir/bench_flood_control.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flood_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_publisher_load"
+  "../bench/bench_publisher_load.pdb"
+  "CMakeFiles/bench_publisher_load.dir/bench_publisher_load.cc.o"
+  "CMakeFiles/bench_publisher_load.dir/bench_publisher_load.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_publisher_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pull_redundancy"
+  "../bench/bench_pull_redundancy.pdb"
+  "CMakeFiles/bench_pull_redundancy.dir/bench_pull_redundancy.cc.o"
+  "CMakeFiles/bench_pull_redundancy.dir/bench_pull_redundancy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pull_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

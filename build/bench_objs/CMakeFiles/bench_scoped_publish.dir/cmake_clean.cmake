@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scoped_publish"
+  "../bench/bench_scoped_publish.pdb"
+  "CMakeFiles/bench_scoped_publish.dir/bench_scoped_publish.cc.o"
+  "CMakeFiles/bench_scoped_publish.dir/bench_scoped_publish.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scoped_publish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_scoped_publish.
+# This may be replaced when dependencies are built.

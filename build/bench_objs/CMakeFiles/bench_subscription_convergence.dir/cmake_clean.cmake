@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_subscription_convergence"
+  "../bench/bench_subscription_convergence.pdb"
+  "CMakeFiles/bench_subscription_convergence.dir/bench_subscription_convergence.cc.o"
+  "CMakeFiles/bench_subscription_convergence.dir/bench_subscription_convergence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subscription_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

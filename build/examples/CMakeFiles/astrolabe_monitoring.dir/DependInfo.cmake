@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/astrolabe_monitoring.cpp" "examples/CMakeFiles/astrolabe_monitoring.dir/astrolabe_monitoring.cpp.o" "gcc" "examples/CMakeFiles/astrolabe_monitoring.dir/astrolabe_monitoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/newswire/CMakeFiles/nw_newswire.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/nw_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicast/CMakeFiles/nw_multicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/nw_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/astrolabe/CMakeFiles/nw_astrolabe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

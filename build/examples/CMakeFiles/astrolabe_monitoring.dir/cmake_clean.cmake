@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astrolabe_monitoring.dir/astrolabe_monitoring.cpp.o"
+  "CMakeFiles/astrolabe_monitoring.dir/astrolabe_monitoring.cpp.o.d"
+  "astrolabe_monitoring"
+  "astrolabe_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astrolabe_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

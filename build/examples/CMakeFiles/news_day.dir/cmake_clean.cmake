@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_day.dir/news_day.cpp.o"
+  "CMakeFiles/news_day.dir/news_day.cpp.o.d"
+  "news_day"
+  "news_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

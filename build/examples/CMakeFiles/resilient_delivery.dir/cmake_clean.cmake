@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_delivery.dir/resilient_delivery.cpp.o"
+  "CMakeFiles/resilient_delivery.dir/resilient_delivery.cpp.o.d"
+  "resilient_delivery"
+  "resilient_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

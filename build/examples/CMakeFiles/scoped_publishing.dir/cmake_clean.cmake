@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoped_publishing.dir/scoped_publishing.cpp.o"
+  "CMakeFiles/scoped_publishing.dir/scoped_publishing.cpp.o.d"
+  "scoped_publishing"
+  "scoped_publishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoped_publishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_news_network.dir/tech_news_network.cpp.o"
+  "CMakeFiles/tech_news_network.dir/tech_news_network.cpp.o.d"
+  "tech_news_network"
+  "tech_news_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_news_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/astrolabe/agent.cc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/agent.cc.o" "gcc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/agent.cc.o.d"
+  "/root/repo/src/astrolabe/cert.cc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/cert.cc.o" "gcc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/cert.cc.o.d"
+  "/root/repo/src/astrolabe/deployment.cc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/deployment.cc.o" "gcc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/deployment.cc.o.d"
+  "/root/repo/src/astrolabe/query.cc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/query.cc.o" "gcc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/query.cc.o.d"
+  "/root/repo/src/astrolabe/sql/eval.cc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/sql/eval.cc.o" "gcc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/sql/eval.cc.o.d"
+  "/root/repo/src/astrolabe/sql/lexer.cc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/sql/lexer.cc.o" "gcc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/astrolabe/sql/parser.cc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/sql/parser.cc.o" "gcc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/sql/parser.cc.o.d"
+  "/root/repo/src/astrolabe/sql/printer.cc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/sql/printer.cc.o" "gcc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/sql/printer.cc.o.d"
+  "/root/repo/src/astrolabe/value.cc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/value.cc.o" "gcc" "src/astrolabe/CMakeFiles/nw_astrolabe.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_astrolabe.dir/agent.cc.o"
+  "CMakeFiles/nw_astrolabe.dir/agent.cc.o.d"
+  "CMakeFiles/nw_astrolabe.dir/cert.cc.o"
+  "CMakeFiles/nw_astrolabe.dir/cert.cc.o.d"
+  "CMakeFiles/nw_astrolabe.dir/deployment.cc.o"
+  "CMakeFiles/nw_astrolabe.dir/deployment.cc.o.d"
+  "CMakeFiles/nw_astrolabe.dir/query.cc.o"
+  "CMakeFiles/nw_astrolabe.dir/query.cc.o.d"
+  "CMakeFiles/nw_astrolabe.dir/sql/eval.cc.o"
+  "CMakeFiles/nw_astrolabe.dir/sql/eval.cc.o.d"
+  "CMakeFiles/nw_astrolabe.dir/sql/lexer.cc.o"
+  "CMakeFiles/nw_astrolabe.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/nw_astrolabe.dir/sql/parser.cc.o"
+  "CMakeFiles/nw_astrolabe.dir/sql/parser.cc.o.d"
+  "CMakeFiles/nw_astrolabe.dir/sql/printer.cc.o"
+  "CMakeFiles/nw_astrolabe.dir/sql/printer.cc.o.d"
+  "CMakeFiles/nw_astrolabe.dir/value.cc.o"
+  "CMakeFiles/nw_astrolabe.dir/value.cc.o.d"
+  "libnw_astrolabe.a"
+  "libnw_astrolabe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_astrolabe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

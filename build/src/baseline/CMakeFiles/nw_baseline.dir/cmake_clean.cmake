@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_baseline.dir/pull.cc.o"
+  "CMakeFiles/nw_baseline.dir/pull.cc.o.d"
+  "libnw_baseline.a"
+  "libnw_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_multicast.dir/multicast.cc.o"
+  "CMakeFiles/nw_multicast.dir/multicast.cc.o.d"
+  "libnw_multicast.a"
+  "libnw_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

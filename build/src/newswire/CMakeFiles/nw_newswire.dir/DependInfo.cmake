@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/newswire/feed_agent.cc" "src/newswire/CMakeFiles/nw_newswire.dir/feed_agent.cc.o" "gcc" "src/newswire/CMakeFiles/nw_newswire.dir/feed_agent.cc.o.d"
+  "/root/repo/src/newswire/message_cache.cc" "src/newswire/CMakeFiles/nw_newswire.dir/message_cache.cc.o" "gcc" "src/newswire/CMakeFiles/nw_newswire.dir/message_cache.cc.o.d"
+  "/root/repo/src/newswire/news_item.cc" "src/newswire/CMakeFiles/nw_newswire.dir/news_item.cc.o" "gcc" "src/newswire/CMakeFiles/nw_newswire.dir/news_item.cc.o.d"
+  "/root/repo/src/newswire/publisher.cc" "src/newswire/CMakeFiles/nw_newswire.dir/publisher.cc.o" "gcc" "src/newswire/CMakeFiles/nw_newswire.dir/publisher.cc.o.d"
+  "/root/repo/src/newswire/subscriber.cc" "src/newswire/CMakeFiles/nw_newswire.dir/subscriber.cc.o" "gcc" "src/newswire/CMakeFiles/nw_newswire.dir/subscriber.cc.o.d"
+  "/root/repo/src/newswire/system.cc" "src/newswire/CMakeFiles/nw_newswire.dir/system.cc.o" "gcc" "src/newswire/CMakeFiles/nw_newswire.dir/system.cc.o.d"
+  "/root/repo/src/newswire/workload.cc" "src/newswire/CMakeFiles/nw_newswire.dir/workload.cc.o" "gcc" "src/newswire/CMakeFiles/nw_newswire.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pubsub/CMakeFiles/nw_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicast/CMakeFiles/nw_multicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/astrolabe/CMakeFiles/nw_astrolabe.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/nw_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_newswire.dir/feed_agent.cc.o"
+  "CMakeFiles/nw_newswire.dir/feed_agent.cc.o.d"
+  "CMakeFiles/nw_newswire.dir/message_cache.cc.o"
+  "CMakeFiles/nw_newswire.dir/message_cache.cc.o.d"
+  "CMakeFiles/nw_newswire.dir/news_item.cc.o"
+  "CMakeFiles/nw_newswire.dir/news_item.cc.o.d"
+  "CMakeFiles/nw_newswire.dir/publisher.cc.o"
+  "CMakeFiles/nw_newswire.dir/publisher.cc.o.d"
+  "CMakeFiles/nw_newswire.dir/subscriber.cc.o"
+  "CMakeFiles/nw_newswire.dir/subscriber.cc.o.d"
+  "CMakeFiles/nw_newswire.dir/system.cc.o"
+  "CMakeFiles/nw_newswire.dir/system.cc.o.d"
+  "CMakeFiles/nw_newswire.dir/workload.cc.o"
+  "CMakeFiles/nw_newswire.dir/workload.cc.o.d"
+  "libnw_newswire.a"
+  "libnw_newswire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_newswire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_pubsub.dir/category_subscriptions.cc.o"
+  "CMakeFiles/nw_pubsub.dir/category_subscriptions.cc.o.d"
+  "CMakeFiles/nw_pubsub.dir/pubsub.cc.o"
+  "CMakeFiles/nw_pubsub.dir/pubsub.cc.o.d"
+  "libnw_pubsub.a"
+  "libnw_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_sim.dir/network.cc.o"
+  "CMakeFiles/nw_sim.dir/network.cc.o.d"
+  "libnw_sim.a"
+  "libnw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_util.dir/log.cc.o"
+  "CMakeFiles/nw_util.dir/log.cc.o.d"
+  "libnw_util.a"
+  "libnw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

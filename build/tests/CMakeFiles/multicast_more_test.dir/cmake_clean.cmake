@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_more_test.dir/multicast_more_test.cc.o"
+  "CMakeFiles/multicast_more_test.dir/multicast_more_test.cc.o.d"
+  "multicast_more_test"
+  "multicast_more_test.pdb"
+  "multicast_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newswire_more_test.dir/newswire_more_test.cc.o"
+  "CMakeFiles/newswire_more_test.dir/newswire_more_test.cc.o.d"
+  "newswire_more_test"
+  "newswire_more_test.pdb"
+  "newswire_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newswire_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

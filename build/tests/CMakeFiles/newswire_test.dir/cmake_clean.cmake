@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newswire_test.dir/newswire_test.cc.o"
+  "CMakeFiles/newswire_test.dir/newswire_test.cc.o.d"
+  "newswire_test"
+  "newswire_test.pdb"
+  "newswire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newswire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_eval_more_test.dir/sql_eval_more_test.cc.o"
+  "CMakeFiles/sql_eval_more_test.dir/sql_eval_more_test.cc.o.d"
+  "sql_eval_more_test"
+  "sql_eval_more_test.pdb"
+  "sql_eval_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_eval_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

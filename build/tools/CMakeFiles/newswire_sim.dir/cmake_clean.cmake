@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newswire_sim.dir/newswire_sim.cc.o"
+  "CMakeFiles/newswire_sim.dir/newswire_sim.cc.o.d"
+  "newswire_sim"
+  "newswire_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newswire_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
