@@ -1,0 +1,434 @@
+#include "sim/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace nw::sim {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\n' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t next = s.find(sep, pos);
+    if (next == std::string_view::npos) next = s.size();
+    parts.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return parts;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  const std::string copy(Trim(s));
+  if (copy.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size();
+}
+
+bool ParseNode(std::string_view s, NodeId* out) {
+  double v = 0;
+  if (!ParseDouble(s, &v)) return false;
+  if (v < 0 || v != std::floor(v) || v > double(kInvalidNode)) return false;
+  *out = NodeId(v);
+  return true;
+}
+
+}  // namespace
+
+bool FaultEvent::operator==(const FaultEvent& other) const {
+  return kind == other.kind && at == other.at && until == other.until &&
+         node == other.node && value == other.value && groups == other.groups;
+}
+
+FaultPlan& FaultPlan::Crash(Time t, NodeId node) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kCrash;
+  ev.at = t;
+  ev.node = node;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::Restart(Time t, NodeId node) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kRestart;
+  ev.at = t;
+  ev.node = node;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::Partition(Time t,
+                                std::vector<std::vector<NodeId>> groups) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kPartition;
+  ev.at = t;
+  ev.groups = std::move(groups);
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::Heal(Time t) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kHeal;
+  ev.at = t;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::LossBurst(Time t0, Time t1, double p) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kLossBurst;
+  ev.at = t0;
+  ev.until = t1;
+  ev.value = p;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::SlowUplink(Time t0, Time t1, NodeId node,
+                                 double bytes_per_sec) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kSlowUplink;
+  ev.at = t0;
+  ev.until = t1;
+  ev.node = node;
+  ev.value = bytes_per_sec;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+Time FaultPlan::EndTime() const {
+  Time end = 0;
+  for (const FaultEvent& ev : events_) {
+    end = std::max(end, std::max(ev.at, ev.until));
+  }
+  return end;
+}
+
+NodeId FaultPlan::MaxNode() const {
+  NodeId max = kInvalidNode;
+  auto consider = [&max](NodeId n) {
+    if (n == kInvalidNode) return;
+    if (max == kInvalidNode || n > max) max = n;
+  };
+  for (const FaultEvent& ev : events_) {
+    consider(ev.node);
+    for (const auto& group : ev.groups) {
+      for (NodeId n : group) consider(n);
+    }
+  }
+  return max;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const FaultEvent& ev : events_) {
+    if (!out.empty()) out += "; ";
+    switch (ev.kind) {
+      case FaultEvent::Kind::kCrash:
+        out += "crash@" + Num(ev.at) + " node=" + std::to_string(ev.node);
+        break;
+      case FaultEvent::Kind::kRestart:
+        out += "restart@" + Num(ev.at) + " node=" + std::to_string(ev.node);
+        break;
+      case FaultEvent::Kind::kPartition: {
+        out += "partition@" + Num(ev.at) + " groups=";
+        for (std::size_t g = 0; g < ev.groups.size(); ++g) {
+          if (g) out += "|";
+          for (std::size_t i = 0; i < ev.groups[g].size(); ++i) {
+            if (i) out += ",";
+            out += std::to_string(ev.groups[g][i]);
+          }
+        }
+        break;
+      }
+      case FaultEvent::Kind::kHeal:
+        out += "heal@" + Num(ev.at);
+        break;
+      case FaultEvent::Kind::kLossBurst:
+        out += "loss@" + Num(ev.at) + ".." + Num(ev.until) +
+               " p=" + Num(ev.value);
+        break;
+      case FaultEvent::Kind::kSlowUplink:
+        out += "slow@" + Num(ev.at) + ".." + Num(ev.until);
+        if (ev.node != kInvalidNode) {
+          out += " node=" + std::to_string(ev.node);
+        }
+        out += " rate=" + Num(ev.value);
+        break;
+    }
+  }
+  return out;
+}
+
+std::optional<FaultPlan> FaultPlan::Parse(const std::string& text) {
+  FaultPlan plan;
+  for (std::string_view raw : Split(text, ';')) {
+    const std::string_view entry = Trim(raw);
+    if (entry.empty()) continue;
+
+    // "<kind>@<time>[..<time>] [key=value ...]"
+    const std::size_t at_pos = entry.find('@');
+    if (at_pos == std::string_view::npos) return std::nullopt;
+    const std::string_view kind = entry.substr(0, at_pos);
+    std::string_view rest = entry.substr(at_pos + 1);
+
+    std::string_view time_part = rest;
+    std::string_view args_part;
+    const std::size_t space = rest.find(' ');
+    if (space != std::string_view::npos) {
+      time_part = rest.substr(0, space);
+      args_part = rest.substr(space + 1);
+    }
+
+    FaultEvent ev;
+    const std::size_t dots = time_part.find("..");
+    if (dots != std::string_view::npos) {
+      if (!ParseDouble(time_part.substr(0, dots), &ev.at) ||
+          !ParseDouble(time_part.substr(dots + 2), &ev.until)) {
+        return std::nullopt;
+      }
+      if (ev.until < ev.at) return std::nullopt;
+    } else {
+      if (!ParseDouble(time_part, &ev.at)) return std::nullopt;
+    }
+    if (ev.at < 0) return std::nullopt;
+
+    // key=value arguments.
+    bool have_node = false, have_p = false, have_rate = false,
+         have_groups = false;
+    for (std::string_view tok : Split(args_part, ' ')) {
+      tok = Trim(tok);
+      if (tok.empty()) continue;
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string_view::npos) return std::nullopt;
+      const std::string_view key = tok.substr(0, eq);
+      const std::string_view val = tok.substr(eq + 1);
+      if (key == "node") {
+        if (!ParseNode(val, &ev.node)) return std::nullopt;
+        have_node = true;
+      } else if (key == "p" || key == "rate") {
+        if (!ParseDouble(val, &ev.value)) return std::nullopt;
+        (key == "p" ? have_p : have_rate) = true;
+      } else if (key == "groups") {
+        for (std::string_view group : Split(val, '|')) {
+          std::vector<NodeId> nodes;
+          for (std::string_view n : Split(group, ',')) {
+            NodeId id = kInvalidNode;
+            if (!ParseNode(n, &id)) return std::nullopt;
+            nodes.push_back(id);
+          }
+          if (nodes.empty()) return std::nullopt;
+          ev.groups.push_back(std::move(nodes));
+        }
+        have_groups = !ev.groups.empty();
+      } else {
+        return std::nullopt;
+      }
+    }
+
+    if (kind == "crash" || kind == "restart") {
+      if (!have_node || dots != std::string_view::npos) return std::nullopt;
+      ev.kind = kind == "crash" ? FaultEvent::Kind::kCrash
+                                : FaultEvent::Kind::kRestart;
+    } else if (kind == "partition") {
+      if (!have_groups) return std::nullopt;
+      ev.kind = FaultEvent::Kind::kPartition;
+    } else if (kind == "heal") {
+      ev.kind = FaultEvent::Kind::kHeal;
+    } else if (kind == "loss") {
+      if (!have_p || dots == std::string_view::npos) return std::nullopt;
+      if (ev.value < 0 || ev.value > 1) return std::nullopt;
+      ev.kind = FaultEvent::Kind::kLossBurst;
+    } else if (kind == "slow") {
+      if (!have_rate || dots == std::string_view::npos || ev.value <= 0) {
+        return std::nullopt;
+      }
+      ev.kind = FaultEvent::Kind::kSlowUplink;
+    } else {
+      return std::nullopt;
+    }
+    plan.events_.push_back(std::move(ev));
+  }
+  return plan;
+}
+
+void FaultPlan::ApplyTo(Network& net, Time base) const {
+  Simulator& sim = net.simulator();
+  // Rates to restore when a fault window closes, captured now so a plan
+  // applied to a tuned network puts things back the way it found them.
+  const double base_loss = net.config().loss_prob;
+  for (const FaultEvent& ev : events_) {
+    switch (ev.kind) {
+      case FaultEvent::Kind::kCrash:
+        sim.At(base + ev.at, [&net, node = ev.node] { net.Kill(node); });
+        break;
+      case FaultEvent::Kind::kRestart:
+        sim.At(base + ev.at, [&net, node = ev.node] { net.Restart(node); });
+        break;
+      case FaultEvent::Kind::kPartition:
+        sim.At(base + ev.at, [&net, groups = ev.groups] {
+          for (std::size_t g = 0; g < groups.size(); ++g) {
+            for (NodeId n : groups[g]) {
+              net.SetPartitionGroup(n, int(g) + 1);
+            }
+          }
+        });
+        break;
+      case FaultEvent::Kind::kHeal:
+        sim.At(base + ev.at, [&net] { net.HealPartitions(); });
+        break;
+      case FaultEvent::Kind::kLossBurst:
+        sim.At(base + ev.at, [&net, p = ev.value] { net.SetLossProb(p); });
+        sim.At(base + ev.until, [&net, base_loss] {
+          net.SetLossProb(base_loss);
+        });
+        break;
+      case FaultEvent::Kind::kSlowUplink: {
+        auto each = [&net](NodeId node, auto&& fn) {
+          if (node != kInvalidNode) {
+            fn(node);
+          } else {
+            for (NodeId n = 0; n < NodeId(net.NodeCount()); ++n) fn(n);
+          }
+        };
+        sim.At(base + ev.at, [&net, each, node = ev.node, rate = ev.value] {
+          each(node, [&net, rate](NodeId n) { net.SetUplinkRate(n, rate); });
+        });
+        sim.At(base + ev.until, [&net, each, node = ev.node] {
+          each(node, [&net](NodeId n) { net.ResetUplinkRate(n); });
+        });
+        break;
+      }
+    }
+  }
+}
+
+void FaultPlan::ApplyTo(Network& net) const {
+  ApplyTo(net, net.simulator().Now());
+}
+
+FaultPlan FaultPlan::Random(std::uint64_t seed, std::vector<NodeId> victims,
+                            const RandomOptions& options) {
+  FaultPlan plan;
+  if (victims.empty()) return plan;
+  util::DeterministicRng rng(seed ^ 0xFA01A7ull);
+  const Time chaos_end = options.horizon - options.min_quiescence;
+  auto q = [](double t) { return std::round(t * 10.0) / 10.0; };
+
+  std::set<NodeId> dead;
+  bool partitioned = false;
+  Time busy_until = 0;  // end of the latest loss burst / slow window
+  Time t = q(options.min_event_gap + rng.NextDouble() * 2.0);
+  std::size_t emitted = 0;
+
+  enum Action { kCrash, kRestart, kPartition, kHeal, kLoss, kSlow };
+  while (t < chaos_end && emitted < options.max_events) {
+    std::vector<Action> candidates;
+    if (dead.size() < options.max_dead && dead.size() < victims.size()) {
+      candidates.push_back(kCrash);
+    }
+    if (!dead.empty()) candidates.push_back(kRestart);
+    if (options.partitions && !partitioned && victims.size() >= 2) {
+      candidates.push_back(kPartition);
+    }
+    if (partitioned) candidates.push_back(kHeal);
+    if (options.loss_bursts && t >= busy_until && t + 2.0 <= chaos_end) {
+      candidates.push_back(kLoss);
+    }
+    if (options.slow_uplinks && t >= busy_until && t + 2.0 <= chaos_end) {
+      candidates.push_back(kSlow);
+    }
+    if (candidates.empty()) break;
+
+    switch (candidates[rng.NextBelow(candidates.size())]) {
+      case kCrash: {
+        NodeId victim;
+        do {
+          victim = victims[rng.NextBelow(victims.size())];
+        } while (dead.contains(victim));
+        plan.Crash(t, victim);
+        dead.insert(victim);
+        break;
+      }
+      case kRestart: {
+        std::vector<NodeId> pool(dead.begin(), dead.end());
+        const NodeId victim = pool[rng.NextBelow(pool.size())];
+        plan.Restart(t, victim);
+        dead.erase(victim);
+        break;
+      }
+      case kPartition: {
+        std::vector<NodeId> shuffled = victims;
+        rng.Shuffle(shuffled);
+        const std::size_t cut =
+            1 + std::size_t(rng.NextBelow(shuffled.size() - 1));
+        plan.Partition(
+            t, {std::vector<NodeId>(shuffled.begin(), shuffled.begin() + long(cut))});
+        partitioned = true;
+        break;
+      }
+      case kHeal:
+        plan.Heal(t);
+        partitioned = false;
+        break;
+      case kLoss: {
+        const Time dur =
+            q(std::min(2.0 + rng.NextDouble() * 8.0, chaos_end - t));
+        const double p = 0.05 + rng.NextDouble() * (options.max_loss - 0.05);
+        plan.LossBurst(t, q(t + dur), std::round(p * 100.0) / 100.0);
+        busy_until = t + dur;
+        break;
+      }
+      case kSlow: {
+        const Time dur =
+            q(std::min(2.0 + rng.NextDouble() * 8.0, chaos_end - t));
+        plan.SlowUplink(t, q(t + dur), victims[rng.NextBelow(victims.size())],
+                        options.slow_rate);
+        busy_until = t + dur;
+        break;
+      }
+    }
+    ++emitted;
+    t = q(t + options.min_event_gap + rng.NextExponential(2.0));
+  }
+
+  // Recovery tail: heal everything, restart everyone, then quiescence.
+  // Anchored at chaos_end (not t, which can overshoot it by the last
+  // exponential gap) so the tail never eats into min_quiescence.
+  Time r = q(chaos_end);
+  if (partitioned) plan.Heal(r);
+  for (NodeId n : dead) {
+    r = q(r + 0.2);
+    plan.Restart(r, n);
+  }
+  return plan;
+}
+
+}  // namespace nw::sim

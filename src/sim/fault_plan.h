@@ -1,0 +1,111 @@
+// Declarative fault-injection plans (DESIGN.md §5): a schedule of timed
+// fault events — crashes, restarts, partitions, heals, loss bursts, slow
+// uplinks — applied to a sim::Network through simulator timers.
+//
+// Plans serialize to a one-line text format so that any failing random
+// run can be committed verbatim as a regression scenario and replayed:
+//
+//   crash@5 node=3; restart@12 node=3; partition@20 groups=0,1|2,3;
+//   heal@30; loss@35..45 p=0.3; slow@50..55 node=2 rate=1e5
+//
+// Times are seconds relative to the instant the plan is applied. A seeded
+// random generator produces constrained plans (bounded concurrent deaths,
+// a fault-free quiescence tail) for torture-style tests.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace nw::sim {
+
+struct FaultEvent {
+  enum class Kind { kCrash, kRestart, kPartition, kHeal, kLossBurst, kSlowUplink };
+
+  Kind kind = Kind::kHeal;
+  Time at = 0;     // start time (relative to plan application)
+  Time until = 0;  // end time for windowed events (loss burst, slow uplink)
+  NodeId node = kInvalidNode;  // crash/restart target; kInvalidNode on
+                               // a slow-uplink event means "all nodes"
+  double value = 0;            // loss probability or uplink bytes/sec
+  // Partition groups: listed nodes land in groups 1, 2, ...; nodes not
+  // listed stay in group 0.
+  std::vector<std::vector<NodeId>> groups;
+
+  bool operator==(const FaultEvent& other) const;
+};
+
+class FaultPlan {
+ public:
+  // ---- builders (fluent, chronological order is not required) ----------
+  FaultPlan& Crash(Time t, NodeId node);
+  FaultPlan& Restart(Time t, NodeId node);
+  FaultPlan& Partition(Time t, std::vector<std::vector<NodeId>> groups);
+  FaultPlan& Heal(Time t);
+  FaultPlan& LossBurst(Time t0, Time t1, double p);
+  // node == kInvalidNode throttles every node's uplink.
+  FaultPlan& SlowUplink(Time t0, Time t1, NodeId node, double bytes_per_sec);
+
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t size() const noexcept { return events_.size(); }
+
+  // Time of the last scheduled action (the `until` edge of windowed
+  // events). Tests run at least this long plus a recovery tail.
+  Time EndTime() const;
+
+  // Largest node id referenced, or kInvalidNode when none is.
+  NodeId MaxNode() const;
+
+  // ---- text form -------------------------------------------------------
+  // One line, events joined by "; ". Parse(ToString()) reproduces the
+  // plan exactly (operator==).
+  std::string ToString() const;
+  // Returns nullopt on any syntax error. Accepts the empty string (empty
+  // plan) and arbitrary spacing around separators.
+  static std::optional<FaultPlan> Parse(const std::string& text);
+
+  bool operator==(const FaultPlan& other) const {
+    return events_ == other.events_;
+  }
+
+  // ---- application -----------------------------------------------------
+  // Schedules every event on net.simulator() at (base + event time).
+  // Loss bursts and slow uplinks restore the rates captured from the
+  // network config when the window closes. The plan object itself is not
+  // needed afterwards.
+  void ApplyTo(Network& net, Time base) const;
+  // Convenience: base = net.simulator().Now().
+  void ApplyTo(Network& net) const;
+
+  // ---- random generation ----------------------------------------------
+  struct RandomOptions {
+    Time horizon = 120;        // plan covers [0, horizon)
+    Time min_quiescence = 30;  // fault-free tail: every node restarted,
+                               // every partition healed, every burst over
+                               // by horizon - min_quiescence
+    Time min_event_gap = 0.5;  // minimum spacing between event starts
+    std::size_t max_events = 24;
+    std::size_t max_dead = 2;  // never kill > f nodes at once
+    double max_loss = 0.3;     // loss-burst probability cap
+    double slow_rate = 1e5;    // throttled uplink bytes/sec
+    bool partitions = true;
+    bool loss_bursts = true;
+    bool slow_uplinks = false;
+  };
+
+  // Generates a constrained random plan over `victims` (the node ids
+  // eligible for crashes / partitions / slow uplinks). Deterministic in
+  // (seed, victims, options). Generated times are quantized to 0.1 s so
+  // the text form stays short and round-trips exactly.
+  static FaultPlan Random(std::uint64_t seed, std::vector<NodeId> victims,
+                          const RandomOptions& options);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace nw::sim

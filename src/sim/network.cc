@@ -14,6 +14,7 @@ NodeId Network::AddNode(Node* node) {
   alive_.push_back(true);
   incarnation_.push_back(0);
   partition_.push_back(0);
+  uplink_rate_.push_back(config_.uplink_bytes_per_sec);
   uplink_free_at_.push_back(0.0);
   stats_.emplace_back();
   node->net_ = this;
@@ -39,7 +40,7 @@ void Network::Send(Message msg) {
 
   // Serialize on the sender's uplink.
   const Time start = std::max(sim_.Now(), uplink_free_at_[from]);
-  const Time departure = start + double(wire) / config_.uplink_bytes_per_sec;
+  const Time departure = start + double(wire) / uplink_rate_[from];
   uplink_free_at_[from] = departure;
 
   const double jitter =

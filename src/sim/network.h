@@ -59,6 +59,18 @@ class Network {
   void SetPartitionGroup(NodeId id, int group) { partition_[id] = group; }
   void HealPartitions();
 
+  // Runtime fault knobs (driven by FaultPlan): the ambient loss probability
+  // and per-node uplink rates can change mid-run, e.g. a loss burst or a
+  // congested access link.
+  void SetLossProb(double p) { config_.loss_prob = p; }
+  double LossProb() const noexcept { return config_.loss_prob; }
+  void SetUplinkRate(NodeId id, double bytes_per_sec) {
+    uplink_rate_[id] = bytes_per_sec;
+  }
+  void ResetUplinkRate(NodeId id) {
+    uplink_rate_[id] = config_.uplink_bytes_per_sec;
+  }
+
   std::size_t NodeCount() const noexcept { return nodes_.size(); }
   const TrafficStats& StatsFor(NodeId id) const { return stats_[id]; }
   TrafficStats TotalStats() const;
@@ -74,6 +86,7 @@ class Network {
   std::vector<bool> alive_;
   std::vector<std::uint32_t> incarnation_;
   std::vector<int> partition_;
+  std::vector<double> uplink_rate_;  // bytes/sec, default config value
   std::vector<Time> uplink_free_at_;
   std::vector<TrafficStats> stats_;
 };

@@ -12,10 +12,11 @@ namespace nw::util {
 
 class TokenBucket {
  public:
-  // rate: tokens added per second; burst: bucket capacity.
+  // rate: tokens added per second; burst: bucket capacity. A zero rate is
+  // a burst-only bucket: the initial allowance never refills.
   TokenBucket(double rate, double burst)
       : rate_(rate), burst_(burst), tokens_(burst) {
-    assert(rate > 0 && burst > 0);
+    assert(rate >= 0 && burst > 0);
   }
 
   // Attempts to consume `cost` tokens at time `now` (seconds, monotone

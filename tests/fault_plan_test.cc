@@ -1,0 +1,279 @@
+// Unit tests for the fault-plan engine: text round-trip, parser
+// strictness, random-plan constraints, application to a sim::Network, and
+// whole-system replay determinism (the same plan + seed must produce a
+// bit-identical delivery trace).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "newswire/system.h"
+#include "sim/fault_plan.h"
+#include "sim/network.h"
+#include "testing/invariants.h"
+
+namespace nw::sim {
+namespace {
+
+TEST(FaultPlan, RoundTripsThroughTextSerialization) {
+  FaultPlan plan;
+  plan.Crash(5, 3)
+      .Restart(12.5, 3)
+      .Partition(20, {{0, 1, 2}, {3, 4}})
+      .Heal(30)
+      .LossBurst(35, 45.5, 0.3)
+      .SlowUplink(50, 55, 2, 1e5)
+      .SlowUplink(56, 58, kInvalidNode, 12500);
+
+  const std::string text = plan.ToString();
+  auto parsed = FaultPlan::Parse(text);
+  ASSERT_TRUE(parsed.has_value()) << text;
+  EXPECT_EQ(*parsed, plan) << text;
+  // And the text form is stable (Parse . ToString is the identity).
+  EXPECT_EQ(parsed->ToString(), text);
+}
+
+TEST(FaultPlan, ParsesHandwrittenStrings) {
+  auto plan = FaultPlan::Parse(
+      "  crash@5 node=3;restart@12 node=3 ; heal@20;  loss@1..4 p=0.25 ;"
+      "slow@6..9 rate=5e4");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->size(), 5u);
+  EXPECT_EQ(plan->events()[0].kind, FaultEvent::Kind::kCrash);
+  EXPECT_EQ(plan->events()[0].node, 3u);
+  EXPECT_DOUBLE_EQ(plan->events()[3].value, 0.25);
+  EXPECT_EQ(plan->events()[4].node, kInvalidNode);  // all-node slow uplink
+  EXPECT_DOUBLE_EQ(plan->events()[4].value, 5e4);
+  EXPECT_DOUBLE_EQ(plan->EndTime(), 20.0);
+  EXPECT_EQ(plan->MaxNode(), 3u);
+}
+
+TEST(FaultPlan, EmptyStringIsTheEmptyPlan) {
+  auto plan = FaultPlan::Parse("");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->empty());
+  EXPECT_EQ(plan->ToString(), "");
+}
+
+TEST(FaultPlan, RejectsMalformedStrings) {
+  const char* bad[] = {
+      "crash@5",                      // missing node
+      "crash@5 node=x",               // non-numeric node
+      "crash@-1 node=2",              // negative time
+      "crash@5..9 node=2",            // window on a point event
+      "loss@5 p=0.3",                 // loss needs a window
+      "loss@5..9 p=1.5",              // probability out of range
+      "loss@9..5 p=0.5",              // inverted window
+      "slow@5..9 rate=0",             // zero rate
+      "partition@5",                  // missing groups
+      "explode@5 node=1",             // unknown kind
+      "crash@5 node=1 frobnicate=2",  // unknown key
+      "crash 5 node=1",               // missing '@'
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(FaultPlan::Parse(text).has_value()) << text;
+  }
+}
+
+TEST(FaultPlan, RandomPlanRespectsConstraints) {
+  FaultPlan::RandomOptions opt;
+  opt.horizon = 100;
+  opt.min_quiescence = 25;
+  opt.max_dead = 3;
+  opt.max_events = 30;
+  opt.loss_bursts = true;
+  opt.slow_uplinks = true;
+  std::vector<NodeId> victims;
+  for (NodeId n = 1; n <= 16; ++n) victims.push_back(n);
+
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const FaultPlan plan = FaultPlan::Random(seed, victims, opt);
+    std::set<NodeId> dead;
+    for (const FaultEvent& ev : plan.events()) {
+      EXPECT_LE(std::max(ev.at, ev.until), opt.horizon) << plan.ToString();
+      switch (ev.kind) {
+        case FaultEvent::Kind::kCrash:
+          EXPECT_TRUE(dead.insert(ev.node).second) << "double-kill";
+          EXPECT_LE(dead.size(), opt.max_dead) << plan.ToString();
+          // Chaos stays out of the quiescence tail.
+          EXPECT_LT(ev.at, opt.horizon - opt.min_quiescence);
+          break;
+        case FaultEvent::Kind::kRestart:
+          EXPECT_EQ(dead.erase(ev.node), 1u) << "restart of a live node";
+          break;
+        case FaultEvent::Kind::kLossBurst:
+          EXPECT_LE(ev.value, opt.max_loss);
+          EXPECT_LE(ev.until, opt.horizon - opt.min_quiescence);
+          break;
+        default:
+          break;
+      }
+    }
+    EXPECT_TRUE(dead.empty()) << "plan leaves nodes dead: " << plan.ToString();
+    // Every random plan must be committable: round-trip exactly.
+    auto reparsed = FaultPlan::Parse(plan.ToString());
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(*reparsed, plan);
+  }
+}
+
+TEST(FaultPlan, RandomIsDeterministicInSeed) {
+  FaultPlan::RandomOptions opt;
+  std::vector<NodeId> victims{1, 2, 3, 4, 5};
+  EXPECT_EQ(FaultPlan::Random(7, victims, opt),
+            FaultPlan::Random(7, victims, opt));
+  EXPECT_NE(FaultPlan::Random(7, victims, opt).ToString(),
+            FaultPlan::Random(8, victims, opt).ToString());
+}
+
+// ---- application to a network ------------------------------------------
+
+class Sink : public Node {
+ public:
+  void OnMessage(const Message& msg) override {
+    received.push_back(msg);
+    receive_times.push_back(Now());
+  }
+  std::vector<Message> received;
+  std::vector<Time> receive_times;
+  using Node::Send;
+};
+
+struct Probe {
+  int value = 0;
+};
+
+TEST(FaultPlan, ApplyDrivesKillRestartAndPartition) {
+  Simulator sim(3);
+  NetworkConfig cfg;
+  Network net(sim, cfg);
+  std::vector<std::unique_ptr<Sink>> nodes;
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(std::make_unique<Sink>());
+    net.AddNode(nodes.back().get());
+  }
+
+  auto plan = FaultPlan::Parse(
+      "crash@1 node=1; restart@2 node=1; partition@3 groups=2|3; heal@4");
+  ASSERT_TRUE(plan.has_value());
+  plan->ApplyTo(net, 0);
+
+  sim.At(1.5, [&] {
+    EXPECT_FALSE(net.IsAlive(1));
+    EXPECT_TRUE(net.IsAlive(2));
+  });
+  sim.At(2.5, [&] { EXPECT_TRUE(net.IsAlive(1)); });
+  sim.At(3.5, [&] {
+    // Nodes 2 and 3 are in different groups; 0 stays in the default group.
+    net.Send(Message::Make<Probe>(2, 3, "probe", {1}, 8));
+    net.Send(Message::Make<Probe>(0, 3, "probe", {2}, 8));
+  });
+  sim.At(4.5, [&] { net.Send(Message::Make<Probe>(2, 3, "probe", {3}, 8)); });
+  sim.RunUntilIdle();
+  // Only the post-heal message (and nothing cross-partition) arrived at 3.
+  ASSERT_EQ(nodes[3]->received.size(), 1u);
+  EXPECT_EQ(nodes[3]->received[0].As<Probe>().value, 3);
+}
+
+TEST(FaultPlan, LossBurstRaisesAndRestoresLossProbability) {
+  Simulator sim(3);
+  NetworkConfig cfg;
+  cfg.loss_prob = 0.05;
+  Network net(sim, cfg);
+  Sink a, b;
+  net.AddNode(&a);
+  net.AddNode(&b);
+  auto plan = FaultPlan::Parse("loss@10..20 p=0.8");
+  ASSERT_TRUE(plan.has_value());
+  plan->ApplyTo(net, 0);
+  sim.At(5, [&] { EXPECT_DOUBLE_EQ(net.LossProb(), 0.05); });
+  sim.At(15, [&] { EXPECT_DOUBLE_EQ(net.LossProb(), 0.8); });
+  sim.At(25, [&] { EXPECT_DOUBLE_EQ(net.LossProb(), 0.05); });
+  sim.RunUntilIdle();
+}
+
+TEST(FaultPlan, SlowUplinkStretchesSerializationThenRecovers) {
+  Simulator sim(3);
+  NetworkConfig cfg;
+  cfg.base_latency = 0.0;
+  cfg.jitter_frac = 0.0;
+  cfg.uplink_bytes_per_sec = 1e6;
+  cfg.per_message_overhead = 0;
+  Network net(sim, cfg);
+  Sink a, b;
+  net.AddNode(&a);
+  net.AddNode(&b);
+  auto plan = FaultPlan::Parse("slow@10..20 node=0 rate=1000");
+  ASSERT_TRUE(plan.has_value());
+  plan->ApplyTo(net, 0);
+
+  auto send_at = [&](Time t) {
+    sim.At(t, [&net] {
+      net.Send(Message::Make<Probe>(0, 1, "probe", {0}, 1000));
+    });
+  };
+  send_at(5);   // fast link: 1 ms serialization
+  send_at(15);  // throttled: 1 s serialization
+  send_at(25);  // restored: 1 ms again
+  sim.RunUntilIdle();
+  ASSERT_EQ(b.receive_times.size(), 3u);
+  EXPECT_NEAR(b.receive_times[0], 5.001, 1e-6);
+  EXPECT_NEAR(b.receive_times[1], 16.0, 1e-6);
+  EXPECT_NEAR(b.receive_times[2], 25.001, 1e-6);
+}
+
+// ---- whole-system replay determinism -----------------------------------
+
+struct TraceRun {
+  std::uint64_t hash = 0;
+  std::vector<nw::testing::DeliveryRecord> trace;
+};
+
+TraceRun RunScenario(std::uint64_t seed, const std::string& plan_text) {
+  newswire::SystemConfig cfg;
+  cfg.num_subscribers = 15;
+  cfg.num_publishers = 1;
+  cfg.branching = 4;
+  cfg.catalog_size = 3;
+  cfg.subjects_per_subscriber = 3;
+  cfg.multicast.redundancy = 2;
+  cfg.subscriber.repair_interval = 4.0;
+  cfg.subscriber.repair_window = 3600.0;
+  cfg.gossip_period = 1.0;
+  cfg.seed = seed;
+  newswire::NewswireSystem sys(cfg);
+  nw::testing::DeliveryRecorder recorder(sys);
+  sys.RunFor(10);
+
+  auto plan = FaultPlan::Parse(plan_text);
+  EXPECT_TRUE(plan.has_value()) << plan_text;
+  const double base = sys.Now();
+  plan->ApplyTo(sys.deployment().net(), base);
+  for (int k = 0; k < 20; ++k) {
+    sys.deployment().sim().At(base + k, [&sys, k] {
+      sys.PublishArticle(0, sys.catalog()[std::size_t(k) % 3]);
+    });
+  }
+  sys.RunFor(std::max(20.0, plan->EndTime()) + 60);
+  return {recorder.TraceHash(), recorder.trace()};
+}
+
+TEST(FaultPlan, SamePlanAndSeedGiveBitIdenticalDeliveryTraces) {
+  const std::string plan =
+      "crash@3 node=5; loss@6..10 p=0.3; restart@12 node=5";
+  const TraceRun a = RunScenario(42, plan);
+  const TraceRun b = RunScenario(42, plan);
+  EXPECT_GT(a.trace.size(), 0u);
+  const auto report = nw::testing::CheckReplayIdentical(a.trace, b.trace);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(a.hash, b.hash);
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  const std::string plan = "crash@3 node=5; restart@12 node=5";
+  EXPECT_NE(RunScenario(1, plan).hash, RunScenario(2, plan).hash);
+}
+
+}  // namespace
+}  // namespace nw::sim

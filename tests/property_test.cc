@@ -13,6 +13,7 @@
 #include "newswire/message_cache.h"
 #include "newswire/system.h"
 #include "pubsub/bloom_filter.h"
+#include "testing/invariants.h"
 #include "util/rng.h"
 
 namespace nw {
@@ -45,20 +46,16 @@ TEST_P(GossipConvergenceProperty, AllAgentsAgreeOnMembership) {
   astrolabe::Deployment dep(cfg);
   dep.StartAll();
   dep.RunFor(param.run_seconds);
-  for (std::size_t i = 0; i < dep.size(); ++i) {
-    astrolabe::Row summary = dep.agent(i).ZoneSummary(0);
-    ASSERT_TRUE(summary.contains(astrolabe::kAttrMembers)) << "agent " << i;
-    const std::int64_t members = summary.at(astrolabe::kAttrMembers).AsInt();
-    if (param.loss == 0) {
-      // Loss-free: exact agreement.
-      EXPECT_EQ(members, std::int64_t(param.n)) << "agent " << i;
-    } else {
-      // Lossy steady state: at any instant a row may be mid-refresh, but
-      // the view must stay essentially complete and never over-count.
-      EXPECT_GE(members, std::int64_t(double(param.n) * 0.95)) << "agent " << i;
-      EXPECT_LE(members, std::int64_t(param.n)) << "agent " << i;
-    }
-  }
+  // Loss-free: exact agreement. Lossy steady state: at any instant a row
+  // may be mid-refresh, but the view must stay essentially complete and
+  // never over-count — both encoded in the shared membership checker.
+  const std::int64_t min_members =
+      param.loss == 0 ? std::int64_t(param.n)
+                      : std::int64_t(double(param.n) * 0.95);
+  const auto report = testing::CheckMembershipAgreement(
+      dep, std::int64_t(param.n), min_members);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.checked, param.n);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -307,7 +304,11 @@ INSTANTIATE_TEST_SUITE_P(Capacities, CacheProperty,
 class SystemProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SystemProperty, ReplayableAndSound) {
-  auto run = [&](bool check) {
+  struct Run {
+    std::vector<testing::DeliveryRecord> trace;
+    testing::InvariantReport soundness;
+  };
+  auto run = [&] {
     newswire::SystemConfig cfg;
     cfg.num_subscribers = 47;
     cfg.num_publishers = 2;
@@ -316,28 +317,21 @@ TEST_P(SystemProperty, ReplayableAndSound) {
     cfg.subjects_per_subscriber = 3;
     cfg.seed = GetParam();
     newswire::NewswireSystem sys(cfg);
-    if (check) {
-      for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
-        sys.subscriber(i).AddNewsHandler(
-            [&sys, i](const newswire::NewsItem& item, double) {
-              const auto& mine = sys.SubjectsOf(i);
-              EXPECT_TRUE(std::find(mine.begin(), mine.end(), item.subject) !=
-                          mine.end())
-                  << "non-subscriber " << i << " received " << item.subject;
-            });
-      }
-    }
+    testing::DeliveryRecorder recorder(sys);
     sys.RunFor(10);
     for (int k = 0; k < 10; ++k) {
       sys.PublishArticle(k % 2, sys.RandomSubject());
     }
     sys.RunFor(40);
-    return sys.total_delivered();
+    return Run{recorder.trace(),
+               testing::CheckSubscriptionSoundness(sys, recorder)};
   };
-  const auto a = run(true);
-  const auto b = run(false);
-  EXPECT_EQ(a, b) << "same seed must replay identically";
-  EXPECT_GT(a, 0u);
+  const Run a = run();
+  const Run b = run();
+  EXPECT_TRUE(a.soundness.ok()) << a.soundness.Summary();
+  const auto replay = testing::CheckReplayIdentical(a.trace, b.trace);
+  EXPECT_TRUE(replay.ok()) << replay.Summary();
+  EXPECT_GT(a.trace.size(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SystemProperty,

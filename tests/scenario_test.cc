@@ -1,0 +1,161 @@
+// Committed fault scenarios (DESIGN.md §5, EXPERIMENTS.md "Fault
+// scenarios"): each scenario is a one-line fault plan, replayed against a
+// fixed 32-node NewsWire deployment while a publisher streams articles.
+// After the plan's recovery tail and a repair/gossip settle phase, the full
+// invariant suite from src/testing/invariants.h must hold.
+//
+// Topology of the 32-node system (branching 4, most-significant digit
+// first): node 0 is the publisher, nodes 1..31 are subscribers; nodes
+// 0..15 form top-level zone one, 16..31 zone two, and each aligned block
+// of 4 (0..3, 4..7, ...) is a second-level zone.
+//
+// A failing random run from FaultPlan::Random can be committed here
+// verbatim: paste its ToString() as a new table row.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "newswire/system.h"
+#include "sim/fault_plan.h"
+#include "testing/invariants.h"
+
+namespace nw::newswire {
+namespace {
+
+struct Scenario {
+  const char* name;
+  // What §5 failure mode the scenario exercises / which invariant guards it.
+  const char* guards;
+  const char* plan;
+  bool scoped_publish;  // alternate root-scoped and zone-scoped items
+};
+
+// Times are seconds relative to the start of the 30 s publishing phase.
+const Scenario kScenarios[] = {
+    {"CrashDuringPublish",
+     "completeness: crashed nodes recover all items published while down",
+     "crash@5 node=3; crash@6 node=17; restart@40 node=3; restart@42 node=17",
+     false},
+    {"RepresentativeCrash",
+     "robustness: killing the likely zone representatives reroutes delivery",
+     "crash@3 node=1; crash@3.5 node=2; restart@35 node=1; restart@36 node=2",
+     false},
+    {"ZonePartition",
+     "§10 reliability: a whole top-level zone partitions away and re-merges",
+     "partition@10 groups=16,17,18,19,20,21,22,23,24,25,26,27,28,29,30,31; "
+     "heal@35",
+     false},
+    {"DoublePartition",
+     "membership: two second-level zones split into separate islands",
+     "partition@8 groups=4,5,6,7|8,9,10,11; heal@30", false},
+    {"LossBurstDuringRepair",
+     "repair under loss: anti-entropy itself runs over a lossy network",
+     "crash@5 node=9; restart@15 node=9; loss@14..30 p=0.3", false},
+    {"LossWithCrash",
+     "compound faults: ambient loss while a node crashes and rejoins",
+     "loss@5..20 p=0.25; crash@10 node=13; restart@25 node=13", false},
+    {"RestartStorm",
+     "churn: overlapping crash/restart waves never exceed f=2 dead nodes",
+     "crash@2 node=1; crash@4 node=2; restart@10 node=1; crash@12 node=11; "
+     "restart@14 node=2; restart@20 node=11; crash@22 node=21; "
+     "restart@30 node=21",
+     false},
+    {"FlappingNode",
+     "incarnation handling: a flapping node repeatedly loses and rebuilds "
+     "its cache without duplicate deliveries",
+     "crash@5 node=7; restart@8 node=7; crash@11 node=7; restart@14 node=7; "
+     "crash@17 node=7; restart@20 node=7",
+     false},
+    {"PublisherSlowUplink",
+     "flow: a congested publisher uplink delays but never loses items",
+     "slow@5..25 node=0 rate=200000", false},
+    {"ScopedPublishDuringPartition",
+     "no-scope-leak: zone-scoped items stay inside their zone even while "
+     "the other zone partitions and heals",
+     "partition@10 groups=16,17,18,19,20,21,22,23,24,25,26,27,28,29,30,31; "
+     "heal@35",
+     true},
+};
+
+class ScenarioTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ScenarioTest, InvariantsHoldAfterRecovery) {
+  const Scenario& scenario = GetParam();
+
+  // The committed string must itself be a valid, stable plan.
+  auto plan = sim::FaultPlan::Parse(scenario.plan);
+  ASSERT_TRUE(plan.has_value()) << scenario.plan;
+  auto reparsed = sim::FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*reparsed, *plan) << "text form is unstable";
+
+  SystemConfig cfg;
+  cfg.num_subscribers = 31;
+  cfg.num_publishers = 1;
+  cfg.branching = 4;
+  cfg.catalog_size = 3;
+  cfg.subjects_per_subscriber = 3;  // everyone subscribes everything
+  cfg.multicast.redundancy = 2;
+  cfg.subscriber.repair_interval = 4.0;
+  cfg.subscriber.repair_window = 3600.0;
+  cfg.gossip_period = 1.0;
+  cfg.seed = 20260805;
+  NewswireSystem sys(cfg);
+  ASSERT_NE(plan->MaxNode(), sim::kInvalidNode);
+  ASSERT_LT(plan->MaxNode(), sys.node_count()) << "plan targets ghost nodes";
+
+  testing::DeliveryRecorder recorder(sys);
+  sys.RunFor(10);  // subscriptions aggregate before the stream starts
+
+  const double base = sys.Now();
+  plan->ApplyTo(sys.deployment().net(), base);
+
+  // Zone-scoped items target the publisher's own top-level zone.
+  const astrolabe::ZonePath zone = sys.publisher_agent(0).path().Prefix(1);
+  std::vector<testing::PublishedItem> published;
+  for (int k = 0; k < 30; ++k) {
+    sys.deployment().sim().At(base + k, [&, k] {
+      const bool scoped = scenario.scoped_publish && k % 2 == 1;
+      const std::string id =
+          sys.PublishArticle(0, sys.catalog()[std::size_t(k) % 3],
+                             scoped ? zone : astrolabe::ZonePath::Root());
+      if (!id.empty()) {
+        published.push_back({id, sys.catalog()[std::size_t(k) % 3],
+                             scoped ? zone.ToString() : "/"});
+      }
+    });
+  }
+
+  // Stream, recovery tail, then repair/gossip quiescence.
+  sys.RunFor(std::max(30.0, plan->EndTime()) + 120);
+  ASSERT_GE(published.size(), 30u);
+
+  const auto membership = testing::CheckMembershipAgreement(sys);
+  EXPECT_TRUE(membership.ok()) << membership.Summary();
+
+  auto completeness =
+      testing::CheckSubscriberCompleteness(sys, published, 0.999);
+  EXPECT_TRUE(completeness.ok()) << completeness.Summary();
+  EXPECT_GE(completeness.completeness, 0.999);
+
+  const auto duplicates = testing::CheckNoDuplicateDelivery(sys, recorder);
+  EXPECT_TRUE(duplicates.ok()) << duplicates.Summary();
+
+  const auto scope = testing::CheckNoScopeLeak(sys, recorder);
+  EXPECT_TRUE(scope.ok()) << scope.Summary();
+
+  const auto soundness = testing::CheckSubscriptionSoundness(sys, recorder);
+  EXPECT_TRUE(soundness.ok()) << soundness.Summary();
+
+  EXPECT_GT(recorder.trace().size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Committed, ScenarioTest,
+                         ::testing::ValuesIn(kScenarios),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace nw::newswire

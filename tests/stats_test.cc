@@ -1,0 +1,93 @@
+// Unit tests for the sample-statistics helpers used by every bench report.
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace nw::util {
+namespace {
+
+TEST(SampleStats, EmptyIsAllZeros) {
+  SampleStats s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(SampleStats, SingleSample) {
+  SampleStats s;
+  s.Add(4.5);
+  EXPECT_DOUBLE_EQ(s.Mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.5);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0) << "undefined for n<2, reported as 0";
+  // Every percentile of a single sample is that sample, including the
+  // q=0 edge (nearest-rank clamps to the first sample).
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 4.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 4.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 4.5);
+}
+
+TEST(SampleStats, SummaryOfKnownSamples) {
+  SampleStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.Count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_NEAR(s.StdDev(), 2.138, 1e-3);  // sample (n-1) standard deviation
+}
+
+TEST(SampleStats, NearestRankPercentiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(double(i));  // 1..100
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 50.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+}
+
+TEST(SampleStats, PercentileOfUnsortedInput) {
+  SampleStats s;
+  for (double x : {9.0, 1.0, 5.0, 3.0, 7.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 9.0);
+}
+
+TEST(SampleStats, AddAfterPercentileResorts) {
+  SampleStats s;
+  s.Add(10.0);
+  s.Add(20.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 20.0);
+  s.Add(5.0);  // arrives after a sorted query
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 20.0);
+  EXPECT_EQ(s.Count(), 3u);
+}
+
+TEST(SampleStats, DuplicateHeavySamples) {
+  SampleStats s;
+  for (int i = 0; i < 99; ++i) s.Add(1.0);
+  s.Add(100.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0) << "outlier only at the tail";
+}
+
+TEST(Counter, IncrementsMonotonically) {
+  Counter c;
+  EXPECT_EQ(c.value, 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value, 42u);
+}
+
+}  // namespace
+}  // namespace nw::util

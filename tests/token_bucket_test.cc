@@ -1,0 +1,74 @@
+// Unit tests for the publisher flow-control token bucket (paper §8).
+#include <gtest/gtest.h>
+
+#include "util/token_bucket.h"
+
+namespace nw::util {
+namespace {
+
+TEST(TokenBucket, StartsFullAndDrains) {
+  TokenBucket tb(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(tb.AvailableTokens(0), 3.0);
+  EXPECT_TRUE(tb.TryConsume(0));
+  EXPECT_TRUE(tb.TryConsume(0));
+  EXPECT_TRUE(tb.TryConsume(0));
+  EXPECT_FALSE(tb.TryConsume(0)) << "burst exhausted with no time passed";
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket tb(2.0, 4.0);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(tb.TryConsume(0));
+  EXPECT_FALSE(tb.TryConsume(0));
+  // 2 tokens/s: after 0.5 s exactly one token is back.
+  EXPECT_TRUE(tb.TryConsume(0.5));
+  EXPECT_FALSE(tb.TryConsume(0.5));
+  EXPECT_TRUE(tb.TryConsume(1.0));
+}
+
+TEST(TokenBucket, RefillIsCappedAtBurst) {
+  TokenBucket tb(1000.0, 2.0);
+  EXPECT_TRUE(tb.TryConsume(0, 2.0));
+  // An hour of refill still yields only `burst` tokens.
+  EXPECT_DOUBLE_EQ(tb.AvailableTokens(3600), 2.0);
+  EXPECT_TRUE(tb.TryConsume(3600, 2.0));
+  EXPECT_FALSE(tb.TryConsume(3600, 2.0));
+}
+
+TEST(TokenBucket, ZeroRateNeverRefills) {
+  TokenBucket tb(0.0, 2.0);
+  EXPECT_TRUE(tb.TryConsume(0));
+  EXPECT_TRUE(tb.TryConsume(1));
+  EXPECT_FALSE(tb.TryConsume(1e9)) << "burst-only bucket refilled";
+  EXPECT_DOUBLE_EQ(tb.AvailableTokens(1e9), 0.0);
+}
+
+TEST(TokenBucket, FractionalCosts) {
+  TokenBucket tb(1.0, 1.0);
+  EXPECT_TRUE(tb.TryConsume(0, 0.25));
+  EXPECT_TRUE(tb.TryConsume(0, 0.75));  // exactly drains, epsilon-tolerant
+  EXPECT_FALSE(tb.TryConsume(0, 0.25));
+}
+
+TEST(TokenBucket, CostAboveBurstIsNeverAdmitted) {
+  TokenBucket tb(10.0, 2.0);
+  EXPECT_FALSE(tb.TryConsume(0, 3.0));
+  EXPECT_FALSE(tb.TryConsume(100, 3.0)) << "even after a full refill";
+  EXPECT_TRUE(tb.TryConsume(100, 2.0));
+}
+
+TEST(TokenBucket, TimeMovingBackwardDoesNotRefill) {
+  TokenBucket tb(1.0, 1.0);
+  EXPECT_TRUE(tb.TryConsume(10.0));
+  // A stale timestamp must not mint tokens (Refill only advances).
+  EXPECT_FALSE(tb.TryConsume(5.0));
+  EXPECT_TRUE(tb.TryConsume(11.0));
+}
+
+TEST(TokenBucket, ReportsConfig) {
+  TokenBucket tb(7.5, 15.0);
+  EXPECT_DOUBLE_EQ(tb.rate(), 7.5);
+  EXPECT_DOUBLE_EQ(tb.burst(), 15.0);
+}
+
+}  // namespace
+}  // namespace nw::util

@@ -12,11 +12,15 @@
 //   newswire_sim --subscribers 300 --loss 0.1 --redundancy 2 \
 //                --kill-frac 0.2 --kill-at 30 --repair-interval 5
 //   newswire_sim --subscribers 200 --hierarchical --catalog 50
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "newswire/system.h"
+#include "sim/fault_plan.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
@@ -42,6 +46,10 @@ void PrintUsage() {
       "  --repair-interval S   cache anti-entropy period, 0=off (default 10)\n"
       "  --kill-frac F         fraction of subscribers to crash (default 0)\n"
       "  --kill-at S           crash time within the run (default 30)\n"
+      "  --fault-plan P        fault plan: a file or an inline plan string,\n"
+      "                        e.g. 'crash@5 node=3; restart@20 node=3'\n"
+      "                        (times relative to publish start; see\n"
+      "                        src/sim/fault_plan.h for the grammar)\n"
       "  --hierarchical        subjects form a dot hierarchy (see §7)\n"
       "  --verify              publisher signature verification on\n"
       "  --bloom-bits N        subscription filter size (default 1024)\n"
@@ -77,6 +85,7 @@ int main(int argc, char** argv) {
   const double items_per_sec = flags.GetDouble("items-per-sec", 1.0);
   const double kill_frac = flags.GetDouble("kill-frac", 0.0);
   const double kill_at = flags.GetDouble("kill-at", 30.0);
+  const std::string fault_plan_arg = flags.GetString("fault-plan", "");
 
   const auto unknown = flags.UnknownFlags();
   // Query all flags first (done above), then reject leftovers.
@@ -86,6 +95,28 @@ int main(int argc, char** argv) {
     }
     PrintUsage();
     return 2;
+  }
+
+  // --fault-plan: the argument names a file holding a plan, or is itself a
+  // one-line plan string (the forms are unambiguous: plan text is never a
+  // readable path).
+  sim::FaultPlan fault_plan;
+  if (!fault_plan_arg.empty()) {
+    std::string text = fault_plan_arg;
+    if (std::ifstream in(fault_plan_arg); in) {
+      std::ostringstream contents;
+      contents << in.rdbuf();
+      text = contents.str();
+      while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+        text.pop_back();
+      }
+    }
+    auto parsed = sim::FaultPlan::Parse(text);
+    if (!parsed) {
+      std::fprintf(stderr, "--fault-plan: cannot parse \"%s\"\n", text.c_str());
+      return 2;
+    }
+    fault_plan = *parsed;
   }
 
   std::printf(
@@ -104,6 +135,16 @@ int main(int argc, char** argv) {
   // Publishing schedule.
   util::DeterministicRng rng(cfg.seed ^ 0xC11);
   const double t0 = sys.Now();
+  if (!fault_plan.empty()) {
+    if (fault_plan.MaxNode() != sim::kInvalidNode &&
+        fault_plan.MaxNode() >= sys.node_count()) {
+      std::fprintf(stderr, "--fault-plan targets node %u but only %zu exist\n",
+                   fault_plan.MaxNode(), sys.node_count());
+      return 2;
+    }
+    std::printf("fault plan: %s\n", fault_plan.ToString().c_str());
+    fault_plan.ApplyTo(sys.deployment().net(), t0);
+  }
   const int total_items = int(duration * items_per_sec);
   for (int k = 0; k < total_items; ++k) {
     sys.deployment().sim().At(t0 + k / items_per_sec, [&sys, &rng, k] {
@@ -129,7 +170,8 @@ int main(int argc, char** argv) {
       std::printf("t=%.0fs: crashed %zu subscribers\n", sys.Now(), killed);
     });
   }
-  sys.RunFor(duration + 60);  // stream + settle/repair time
+  // Stream + settle/repair time, covering the fault plan's recovery tail.
+  sys.RunFor(std::max(duration, fault_plan.EndTime()) + 60);
 
   // ---- report ----
   std::uint64_t published = 0, throttled = 0;

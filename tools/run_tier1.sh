@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full ctest suite.
+#
+#   tools/run_tier1.sh              # RelWithDebInfo into build/
+#   ASAN=1 tools/run_tier1.sh       # ASan+UBSan into build-asan/
+#
+# Extra arguments are forwarded to ctest, e.g.:
+#   tools/run_tier1.sh -L unit      # fast pre-commit loop
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "${ASAN:-0}" == "1" ]]; then
+  build="$repo/build-asan"
+  extra=(-DNEWSWIRE_SANITIZE=ON)
+else
+  build="$repo/build"
+  extra=()
+fi
+
+cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=RelWithDebInfo "${extra[@]}"
+cmake --build "$build" -j "$jobs"
+ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"
