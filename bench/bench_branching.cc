@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "newswire/system.h"
 #include "util/table_printer.h"
 
@@ -20,6 +21,11 @@ int main() {
       "replicas)\n\n");
   util::TablePrinter table({"branching", "depth", "p50_ms", "p99_ms",
                             "mean_fwd/node", "max_fwd/node"});
+  bench::BenchReport report(
+      "branching",
+      "Zone tables are limited to some small size (say, 64 rows), so the "
+      "hierarchy may be several levels deep (paper §3)");
+  report.Note("4096 subscribers, 10 items, warm replicas; sweep branching");
   for (std::size_t b : {4u, 8u, 16u, 64u}) {
     newswire::SystemConfig cfg;
     cfg.num_subscribers = 4096;
@@ -52,8 +58,13 @@ int main() {
          util::TablePrinter::Num(double(total_fwd) / double(sys.node_count()),
                                  2),
          util::TablePrinter::Int(long(max_fwd))});
+    const std::string suffix = "_b" + std::to_string(b);
+    report.Samples("latency" + suffix, sys.latencies(), "s");
+    report.Measure("depth" + suffix, double(sys.deployment().Depth()));
+    report.Measure("max_forwards_per_node" + suffix, double(max_fwd));
   }
   table.Print();
+  report.WriteFile();
   std::printf(
       "\nReading: small branching gives deep trees (more hops, higher "
       "latency) but spreads forwarding across many representatives; large "

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "astrolabe/sql/eval.h"
+#include "bench_report.h"
 #include "astrolabe/sql/parser.h"
 #include "astrolabe/table.h"
 #include "pubsub/bloom_filter.h"
@@ -169,6 +170,38 @@ void BM_MibWireBytes(benchmark::State& state) {
 }
 BENCHMARK(BM_MibWireBytes)->Arg(16)->Arg(256)->Arg(4096);
 
+// Console output plus a machine-readable record of every timed run.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(bench::BenchReport& report) : report_(report) {}
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      report_.Measure(run.benchmark_name(), run.GetAdjustedRealTime(),
+                      benchmark::GetTimeUnitString(run.time_unit));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::BenchReport report(
+      "filter_cost",
+      "One attribute per possible subscription would be poorly scalable: "
+      "filtering work would be at least linear in the number of "
+      "subscriptions, while the Bloom filter is constant (paper §6)");
+  report.Note("google-benchmark microsuite: per-forward admission, "
+              "aggregation recompute, and gossiped MIB bytes vs #subs");
+  RecordingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.WriteFile();
+  return 0;
+}

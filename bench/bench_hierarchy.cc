@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "newswire/system.h"
 #include "util/table_printer.h"
 
@@ -111,6 +112,18 @@ int main() {
                 util::TablePrinter::Int(long(hier.false_pos)),
                 util::TablePrinter::Num(hier.total_mb, 2)});
   table.Print();
+  bench::BenchReport report(
+      "hierarchy",
+      "Enriching the subscription space (towards NewsML) lets one prefix "
+      "subscription replace many per-topic ones (paper §7)");
+  report.Note("255 subscribers, 8 sections x 16 topics; flat vs prefix");
+  report.Measure("delivered_pct_flat", 100 * flat.delivered_ok, "%");
+  report.Measure("delivered_pct_hier", 100 * hier.delivered_ok, "%");
+  report.Measure("filter_bits_flat", flat.avg_bits_set);
+  report.Measure("filter_bits_hier", hier.avg_bits_set);
+  report.Measure("total_mb_flat", flat.total_mb, "MB");
+  report.Measure("total_mb_hier", hier.total_mb, "MB");
+  report.WriteFile();
   std::printf(
       "\nReading: both deliver the full section; the hierarchical scheme "
       "needs one subscription and one filter bit per section instead of "

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "newswire/system.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
@@ -82,6 +83,11 @@ int main() {
       "distribution over 511 nodes during a 2 items/s stream\n\n");
   util::TablePrinter table({"load_feedback", "mean_fwd", "p99_fwd", "max_fwd",
                             "top1%_share%"});
+  bench::BenchReport report(
+      "load_balance",
+      "Representative election combines path availability with the load on "
+      "paths and nodes, spreading forwarding work (paper §5)");
+  report.Note("511 nodes, sustained 2 items/s stream; load feedback on/off");
   for (bool feedback : {false, true}) {
     Outcome out = Run(feedback);
     table.AddRow({feedback ? "on" : "off",
@@ -89,8 +95,13 @@ int main() {
                   util::TablePrinter::Num(out.p99_fwd, 0),
                   util::TablePrinter::Num(out.max_fwd, 0),
                   util::TablePrinter::Num(out.top1pct_share, 1)});
+    const std::string key = feedback ? "_feedback_on" : "_feedback_off";
+    report.Measure("max_forwards" + key, out.max_fwd);
+    report.Measure("p99_forwards" + key, out.p99_fwd);
+    report.Measure("top1pct_share" + key, out.top1pct_share, "%");
   }
   table.Print();
+  report.WriteFile();
   std::printf(
       "\nReading: without feedback the initially elected representatives "
       "carry the whole stream forever; with the §5 load attribute flowing "

@@ -9,6 +9,7 @@
 #include "astrolabe/table.h"
 #include "astrolabe/zone_path.h"
 #include "astrolabe/agent.h"
+#include "bench_report.h"
 #include "pubsub/bloom_filter.h"
 #include "util/rng.h"
 
@@ -149,6 +150,36 @@ void BM_PredicateEval(benchmark::State& state) {
 }
 BENCHMARK(BM_PredicateEval);
 
+// Console output plus a machine-readable record of every timed run.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(bench::BenchReport& report) : report_(report) {}
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      report_.Measure(run.benchmark_name(), run.GetAdjustedRealTime(),
+                      benchmark::GetTimeUnitString(run.time_unit));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::BenchReport report(
+      "micro",
+      "Micro-costs of the building blocks: aggregation evaluation, table "
+      "merge, certificate operations, Bloom and zone-path handling "
+      "(paper §3/§5)");
+  RecordingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.WriteFile();
+  return 0;
+}

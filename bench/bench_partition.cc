@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "newswire/system.h"
 #include "util/table_printer.h"
 
@@ -18,6 +19,12 @@ int main() {
   std::printf(
       "E13: partition of one top-level zone during a news stream "
       "(64 subscribers, gossip 2s, repair 5s)\n\n");
+  bench::BenchReport report(
+      "partition",
+      "Node failure and automatic zone reconfiguration, and their impact on "
+      "end-to-end reliability (paper §10)");
+  report.Note("one top-level zone partitioned t=20..40 during a 60s stream; "
+              "anti-entropy back-fills after the heal");
 
   newswire::SystemConfig cfg;
   cfg.num_subscribers = 63;
@@ -88,10 +95,13 @@ int main() {
   util::TablePrinter table({"phase", "t_s", "majority_view", "minority_view",
                             "isolated_zone_completeness%"});
   auto snapshot = [&](const char* phase) {
+    const double pct = isolated_completeness(ids);
     table.AddRow({phase, util::TablePrinter::Num(sys.Now() - t0, 0),
                   util::TablePrinter::Int(long(majority_members())),
                   util::TablePrinter::Int(long(minority_members())),
-                  util::TablePrinter::Num(isolated_completeness(ids), 1)});
+                  util::TablePrinter::Num(pct, 1)});
+    report.Measure(std::string("isolated_completeness_pct_") + phase, pct,
+                   "%");
   };
 
   sys.RunFor(19);
@@ -118,6 +128,9 @@ int main() {
       "isolated zone via anti-entropy: %llu item-deliveries\n",
       during_partition_ids.size(),
       static_cast<unsigned long long>(repaired));
+  report.Measure("items_during_partition", double(during_partition_ids.size()));
+  report.Measure("repaired_item_deliveries", double(repaired));
+  report.WriteFile();
   std::printf(
       "\nReading: each side's membership view shrinks to its own island "
       "(eventual consistency under partition), re-merges within a few "

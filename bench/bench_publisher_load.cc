@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "baseline/pull.h"
+#include "bench_report.h"
 #include "newswire/system.h"
 #include "util/table_printer.h"
 
@@ -108,6 +109,12 @@ int main() {
       "2KB, 1 MB/s publisher uplink)\n\n");
   util::TablePrinter table({"subscribers", "system", "pub_MB_sent",
                             "pub_msgs", "last_delivery_s", "delivered%"});
+  bench::BenchReport report(
+      "publisher_load",
+      "Direct personalized push has clear scalability limitations; the "
+      "collaborative system significantly reduces publisher compute and "
+      "network load (paper §2)");
+  report.Note("5 items x 2KB to every subscriber, 1 MB/s publisher uplink");
   for (std::size_t n : {100u, 1000u, 10000u, 50000u}) {
     Result direct = RunDirectPush(n);
     table.AddRow({util::TablePrinter::Int(long(n)), "direct-push",
@@ -121,8 +128,16 @@ int main() {
                   util::TablePrinter::Int(long(wire.publisher_msgs)),
                   util::TablePrinter::Num(wire.last_delivery_s, 2),
                   util::TablePrinter::Num(100 * wire.delivered_frac, 1)});
+    const std::string suffix = "_" + std::to_string(n);
+    report.Measure("direct_pub_mb" + suffix, direct.publisher_mb, "MB");
+    report.Measure("newswire_pub_mb" + suffix, wire.publisher_mb, "MB");
+    report.Measure("direct_last_delivery" + suffix, direct.last_delivery_s,
+                   "s");
+    report.Measure("newswire_last_delivery" + suffix, wire.last_delivery_s,
+                   "s");
   }
   table.Print();
+  report.WriteFile();
   std::printf(
       "\nReading: direct push grows the publisher's egress linearly with N "
       "and serializes the fan-out on its uplink (the last subscriber's "

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "newswire/system.h"
 #include "util/table_printer.h"
 
@@ -84,6 +85,12 @@ int main() {
       "plane — 120 routine items + 4 flash bulletins, 255 subscribers\n\n");
   util::TablePrinter table({"strategy", "flash_p50_s", "flash_p99_s",
                             "routine_p99_s", "delivered%"});
+  bench::BenchReport report(
+      "queue_strategies",
+      "The best strategy to fill forwarding queues is still under research: "
+      "weighted round-robin vs more aggressive techniques (paper §9)");
+  report.Note("congested forwarding plane: 120 routine items + 4 flash "
+              "bulletins, 255 subscribers");
   for (auto strategy : {multicast::QueueStrategy::kWeightedRoundRobin,
                         multicast::QueueStrategy::kRoundRobin,
                         multicast::QueueStrategy::kUrgencyFirst}) {
@@ -93,8 +100,13 @@ int main() {
                   util::TablePrinter::Num(out.flash.Percentile(99), 2),
                   util::TablePrinter::Num(out.routine.Percentile(99), 2),
                   util::TablePrinter::Num(out.delivered_pct, 1)});
+    const std::string name = multicast::QueueStrategyName(strategy);
+    report.Samples("flash_latency_" + name, out.flash, "s");
+    report.Samples("routine_latency_" + name, out.routine, "s");
+    report.Measure("delivered_pct_" + name, out.delivered_pct, "%");
   }
   table.Print();
+  report.WriteFile();
   std::printf(
       "\nReading: round-robin variants treat the flash bulletin like any "
       "queued item, so it inherits the congestion backlog; the aggressive "

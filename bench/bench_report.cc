@@ -1,0 +1,160 @@
+#include "bench_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nw::bench {
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendNum(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  out += buf;
+}
+
+void AppendKeyStr(std::string& out, const char* key, const std::string& v) {
+  out += '"';
+  out += key;
+  out += "\": \"";
+  AppendEscaped(out, v);
+  out += '"';
+}
+
+void AppendKeyNum(std::string& out, const char* key, double v) {
+  out += '"';
+  out += key;
+  out += "\": ";
+  AppendNum(out, v);
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name, std::string claim)
+    : name_(std::move(name)), claim_(std::move(claim)) {}
+
+void BenchReport::Measure(const std::string& key, double value,
+                          const std::string& unit) {
+  measured_.push_back(Scalar{key, value, unit});
+}
+
+void BenchReport::Samples(const std::string& key,
+                          const util::SampleStats& stats,
+                          const std::string& unit) {
+  samples_.push_back(Distribution{
+      key, unit, stats.Count(), stats.Mean(), stats.Min(), stats.Max(),
+      stats.StdDev(), stats.Percentile(50), stats.Percentile(90),
+      stats.Percentile(99)});
+}
+
+void BenchReport::Note(const std::string& text) { notes_.push_back(text); }
+
+std::string BenchReport::ToJson() const {
+  std::string out = "{\n  ";
+  AppendKeyStr(out, "bench", name_);
+  out += ",\n  ";
+  AppendKeyStr(out, "claim", claim_);
+  out += ",\n  \"measured\": [";
+  for (std::size_t i = 0; i < measured_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {";
+    AppendKeyStr(out, "key", measured_[i].key);
+    out += ", ";
+    AppendKeyNum(out, "value", measured_[i].value);
+    if (!measured_[i].unit.empty()) {
+      out += ", ";
+      AppendKeyStr(out, "unit", measured_[i].unit);
+    }
+    out += '}';
+  }
+  out += measured_.empty() ? "]" : "\n  ]";
+  out += ",\n  \"samples\": [";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const Distribution& d = samples_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {";
+    AppendKeyStr(out, "key", d.key);
+    if (!d.unit.empty()) {
+      out += ", ";
+      AppendKeyStr(out, "unit", d.unit);
+    }
+    out += ", ";
+    AppendKeyNum(out, "count", double(d.count));
+    out += ", ";
+    AppendKeyNum(out, "mean", d.mean);
+    out += ", ";
+    AppendKeyNum(out, "min", d.min);
+    out += ", ";
+    AppendKeyNum(out, "max", d.max);
+    out += ", ";
+    AppendKeyNum(out, "stddev", d.stddev);
+    out += ", ";
+    AppendKeyNum(out, "p50", d.p50);
+    out += ", ";
+    AppendKeyNum(out, "p90", d.p90);
+    out += ", ";
+    AppendKeyNum(out, "p99", d.p99);
+    out += '}';
+  }
+  out += samples_.empty() ? "]" : "\n  ]";
+  out += ",\n  \"notes\": [";
+  for (std::size_t i = 0; i < notes_.size(); ++i) {
+    out += i == 0 ? "\n    \"" : ",\n    \"";
+    AppendEscaped(out, notes_[i]);
+    out += '"';
+  }
+  out += notes_.empty() ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+std::string BenchReport::OutputPath(const std::string& name) {
+  std::string path;
+  if (const char* dir = std::getenv("BENCH_JSON_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    path = dir;
+    if (path.back() != '/') path += '/';
+  }
+  path += "BENCH_" + name + ".json";
+  return path;
+}
+
+bool BenchReport::WriteFile() const {
+  const std::string path = OutputPath(name_);
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), out) == json.size();
+  std::fclose(out);
+  if (ok) std::printf("\n[bench json -> %s]\n", path.c_str());
+  return ok;
+}
+
+}  // namespace nw::bench

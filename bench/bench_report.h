@@ -1,0 +1,65 @@
+// Machine-readable benchmark output (shared by every bench_*.cc).
+//
+// Each experiment harness keeps printing its human-facing table, and
+// additionally declares the paper claim it exercises plus the numbers it
+// measured through a BenchReport. WriteFile() serialises the report as
+// BENCH_<name>.json into $BENCH_JSON_DIR (or the working directory), so CI
+// and tooling can diff measured values against the paper without scraping
+// stdout. Percentiles come from util::SampleStats (exact nearest-rank).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace nw::bench {
+
+class BenchReport {
+ public:
+  // `name` keys the output file (BENCH_<name>.json); `claim` is the paper
+  // statement the experiment tests, quoted or paraphrased.
+  BenchReport(std::string name, std::string claim);
+
+  // A single measured scalar, e.g. Measure("redundant_frac_4_polls", 0.71).
+  void Measure(const std::string& key, double value,
+               const std::string& unit = "");
+
+  // A full sample distribution; serialised as count/mean/min/max/stddev and
+  // p50/p90/p99 percentiles.
+  void Samples(const std::string& key, const util::SampleStats& stats,
+               const std::string& unit = "");
+
+  // Free-form commentary (workload description, reading guidance).
+  void Note(const std::string& text);
+
+  std::string ToJson() const;
+
+  // BENCH_<name>.json under $BENCH_JSON_DIR if set, else the cwd.
+  static std::string OutputPath(const std::string& name);
+
+  // Writes the JSON file; prints a one-line confirmation (or a warning on
+  // failure) and returns whether the write succeeded.
+  bool WriteFile() const;
+
+ private:
+  struct Scalar {
+    std::string key;
+    double value;
+    std::string unit;
+  };
+  struct Distribution {
+    std::string key;
+    std::string unit;
+    std::size_t count;
+    double mean, min, max, stddev, p50, p90, p99;
+  };
+
+  std::string name_;
+  std::string claim_;
+  std::vector<Scalar> measured_;
+  std::vector<Distribution> samples_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace nw::bench

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "newswire/system.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
@@ -95,21 +96,34 @@ int main() {
       "of nodes crashes mid-stream (256 subscribers, 30 items)\n\n");
   util::TablePrinter table({"kill_frac", "redundancy_k", "repair",
                             "delivered%", "items_repaired"});
+  bench::BenchReport report(
+      "robustness",
+      "Multiple representatives forward each item to increase delivery "
+      "robustness; the infrastructure guarantees delivery despite failures "
+      "(paper §1/§2/§9)");
+  report.Note("256 subscribers, 30 items; fraction f crashes mid-stream; "
+              "completeness measured over surviving subscribers");
   for (double f : {0.0, 0.1, 0.2, 0.3}) {
+    const std::string fkey = std::to_string(int(100 * f)) + "pct_killed";
     for (int k : {1, 2, 3}) {
       // Raw multicast robustness.
       Outcome raw = Run(f, k, false);
       table.AddRow({util::TablePrinter::Num(f, 2), util::TablePrinter::Int(k),
                     "off", util::TablePrinter::Num(raw.delivered_pct, 2),
                     util::TablePrinter::Int(long(raw.repaired))});
+      report.Measure("delivered_pct_k" + std::to_string(k) + "_" + fkey,
+                     raw.delivered_pct, "%");
     }
     // End-to-end with the §9 cache repair, at k=1 (worst case).
     Outcome fixed = Run(f, 1, true);
     table.AddRow({util::TablePrinter::Num(f, 2), util::TablePrinter::Int(1),
                   "on", util::TablePrinter::Num(fixed.delivered_pct, 2),
                   util::TablePrinter::Int(long(fixed.repaired))});
+    report.Measure("delivered_pct_k1_repair_" + fkey, fixed.delivered_pct,
+                   "%");
   }
   table.Print();
+  report.WriteFile();
   std::printf(
       "\nReading: redundancy k>=2 keeps raw dissemination near-complete "
       "through heavy failures (a zone is cut only if all k representatives "

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "newswire/system.h"
 #include "util/table_printer.h"
 
@@ -40,6 +41,12 @@ int main() {
       "(4095 subscribers, everyone subscribed)\n\n");
   util::TablePrinter t1({"scope_depth", "scope", "recipients",
                          "outside_leaks", "total_MB", "vs_root%"});
+  bench::BenchReport report(
+      "scoped_publish",
+      "A publisher can restrict the scope of dissemination to a zone (e.g. "
+      "localized news in Asia) and target by predicate, e.g. premium "
+      "subscribers only (paper §8)");
+  report.Note("4095 subscribers in a uniform 16^3 tree, all subscribed");
   double root_mb = 0;
   for (std::size_t depth : {0u, 1u, 2u}) {
     newswire::NewswireSystem sys(BaseConfig());
@@ -65,6 +72,10 @@ int main() {
                util::TablePrinter::Num(mb, 2),
                util::TablePrinter::Num(root_mb > 0 ? 100 * mb / root_mb : 100,
                                        1)});
+    const std::string suffix = "_depth" + std::to_string(depth);
+    report.Measure("outside_leaks" + suffix, double(leaks));
+    report.Measure("traffic_vs_root_pct" + suffix,
+                   root_mb > 0 ? 100 * mb / root_mb : 100, "%");
   }
   t1.Print();
 
@@ -109,8 +120,12 @@ int main() {
                    double(sys.deployment().net().TotalStats().bytes_sent) /
                        1e6,
                    2)});
+    const std::string key = use_pred ? "pred" : "nopred";
+    report.Measure("premium_reached_" + key, double(premium_got));
+    report.Measure("non_premium_leaks_" + key, double(leaks));
   }
   t2.Print();
+  report.WriteFile();
   std::printf(
       "\nReading: scoping to a depth-d zone confines delivery exactly and "
       "cuts traffic by roughly the zone's share of the tree; the predicate "

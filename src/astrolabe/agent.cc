@@ -42,6 +42,51 @@ std::size_t Agent::GossipPayload::WireBytes() const {
   return n;
 }
 
+obs::MetricsRegistry* Agent::Metrics() {
+  auto* net = attached_network();
+  auto* m = net != nullptr ? net->metrics() : nullptr;
+  if (m != nullptr && !obs_.init) {
+    obs_.rounds = m->Counter("astro.agent.gossip_rounds");
+    obs_.exchanges = m->Counter("astro.agent.exchanges_sent");
+    obs_.rows_merged = m->Counter("astro.agent.rows_merged");
+    obs_.rows_expired = m->Counter("astro.agent.rows_expired");
+    obs_.recomputes = m->Counter("astro.agent.aggregate_recomputes");
+    obs_.cert_rejects = m->Counter("astro.agent.certs_rejected");
+    obs_.elections = m->Counter("astro.agent.representative_changes");
+    obs_.init = true;
+  }
+  return m;
+}
+
+obs::EventTracer* Agent::Tracer() const {
+  auto* net = attached_network();
+  return net != nullptr ? net->tracer() : nullptr;
+}
+
+void Agent::NoteCertReject(const std::string& subject) {
+  ++stats_.certs_rejected;
+  if (auto* m = Metrics()) m->Add(obs_.cert_rejects, id());
+  if (auto* t = Tracer()) {
+    t->Record(alive() ? Now() : 0.0, id(), obs::EventCategory::kCert,
+              "cert.reject", 0, 0, subject);
+  }
+}
+
+void Agent::TraceElectionChanges() {
+  std::uint32_t mask = 0;
+  for (std::size_t level = 0; level < Depth(); ++level) {
+    if (RepresentsAt(level)) mask |= 1u << level;
+  }
+  if (rep_mask_ != kNoRepMask && mask != rep_mask_) {
+    if (auto* m = Metrics()) m->Add(obs_.elections, id());
+    if (auto* t = Tracer()) {
+      t->Record(Now(), id(), obs::EventCategory::kElection, "election.change",
+                mask, rep_mask_);
+    }
+  }
+  rep_mask_ = mask;
+}
+
 Agent::Agent(AgentConfig config) : config_(std::move(config)) {
   assert(config_.path.Depth() >= 1);
   tables_.reserve(Depth());
@@ -69,6 +114,7 @@ void Agent::Start() {
 void Agent::OnRestart() {
   // Volatile replicas are lost with the process; re-join from seeds.
   for (auto& t : tables_) t = std::make_shared<Table>();
+  rep_mask_ = kNoRepMask;  // representation re-baselines with the new state
   if (started_) {
     RefreshOwnRow();
     RecomputeAggregates();
@@ -99,12 +145,12 @@ bool Agent::InstallFunction(const Certificate& cert) {
   const double now = alive() ? Now() : 0.0;
   if (ValidateChain(cert, zone_authorities_, config_.trust_root, now) !=
       CertStatus::kOk) {
-    ++stats_.certs_rejected;
+    NoteCertReject(cert.subject);
     return false;
   }
   auto code_it = cert.claims.find("code");
   if (code_it == cert.claims.end()) {
-    ++stats_.certs_rejected;
+    NoteCertReject(cert.subject);
     return false;
   }
   // Version gate: only upgrade.
@@ -127,7 +173,7 @@ bool Agent::InstallFunction(const Certificate& cert) {
   } catch (const sql::ParseError& e) {
     util::LogWarn("agent %s: rejecting unparsable function '%s': %s",
                   path().ToString().c_str(), cert.subject.c_str(), e.what());
-    ++stats_.certs_rejected;
+    NoteCertReject(cert.subject);
     return false;
   }
   functions_[cert.subject] = InstalledFunction{cert, std::move(query)};
@@ -139,7 +185,7 @@ bool Agent::AddZoneAuthority(const Certificate& cert) {
   if (cert.kind != CertKind::kZoneAuthority) return false;
   const double now = alive() ? Now() : 0.0;
   if (ValidateChain(cert, {}, config_.trust_root, now) != CertStatus::kOk) {
-    ++stats_.certs_rejected;
+    NoteCertReject(cert.subject);
     return false;
   }
   for (const auto& existing : zone_authorities_) {
@@ -261,6 +307,7 @@ void Agent::RefreshOwnRow() {
 }
 
 void Agent::RecomputeAggregates() {
+  if (auto* m = Metrics()) m->Add(obs_.recomputes, id());
   const double now = alive() ? Now() : 0.0;
   // Bottom-up: the summary of the zone at `level` components feeds the
   // table one level up, like a spreadsheet recomputation (paper §3).
@@ -282,6 +329,7 @@ void Agent::RecomputeAggregates() {
 }
 
 void Agent::ExpireRows() {
+  const std::uint64_t expired_before = stats_.rows_expired;
   const double cutoff =
       Now() - config_.gossip_period * config_.fail_timeout_rounds;
   if (cutoff <= 0) return;
@@ -300,13 +348,23 @@ void Agent::ExpireRows() {
       stats_.rows_expired += MutableTableAt(level).ExpireOlderThan(cutoff, keep);
     }
   }
+  const std::uint64_t expired = stats_.rows_expired - expired_before;
+  if (expired > 0) {
+    if (auto* m = Metrics()) m->Add(obs_.rows_expired, id(), expired);
+  }
 }
 
 void Agent::GossipRound() {
   ++stats_.rounds;
+  if (auto* m = Metrics()) m->Add(obs_.rounds, id());
+  if (auto* t = Tracer(); t != nullptr && t->Enabled(obs::EventCategory::kGossip)) {
+    t->Record(Now(), id(), obs::EventCategory::kGossip, "gossip.round",
+              stats_.rounds);
+  }
   RefreshOwnRow();
   RecomputeAggregates();
   ExpireRows();
+  TraceElectionChanges();
   for (std::size_t level = Depth(); level-- > 0;) {
     if (!RepresentsAt(level)) continue;
     DoGossipAt(level);
@@ -345,6 +403,11 @@ void Agent::DoGossipAt(std::size_t level) {
   GossipPayload payload = BuildPayload(level, /*reply=*/false);
   const std::size_t wire = payload.WireBytes();
   ++stats_.exchanges_sent;
+  if (auto* m = Metrics()) m->Add(obs_.exchanges, id());
+  if (auto* t = Tracer(); t != nullptr && t->Enabled(obs::EventCategory::kGossip)) {
+    t->Record(Now(), id(), obs::EventCategory::kGossip, "gossip.exchange",
+              partner, level);
+  }
   Send(sim::Message::Make(id(), partner, kGossipType, std::move(payload), wire));
 }
 
@@ -367,7 +430,16 @@ Agent::GossipPayload Agent::BuildPayload(std::size_t level, bool reply) const {
 void Agent::HandleGossip(const sim::Message& msg, bool reply) {
   const auto& payload = msg.As<GossipPayload>();
   MergeCerts(payload.certs);
+  const std::uint64_t merged_before = stats_.rows_merged;
   MergeTables(payload);
+  const std::uint64_t merged = stats_.rows_merged - merged_before;
+  if (merged > 0) {
+    if (auto* m = Metrics()) m->Add(obs_.rows_merged, id(), merged);
+    if (auto* t = Tracer(); t != nullptr && t->Enabled(obs::EventCategory::kMerge)) {
+      t->Record(Now(), id(), obs::EventCategory::kMerge, "gossip.merge",
+                merged, msg.from);
+    }
+  }
   RecomputeAggregates();
   if (!reply) {
     // Push-pull: answer with our view of the deepest common table.

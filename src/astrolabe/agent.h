@@ -107,6 +107,9 @@ class Agent : public sim::Node {
   using sim::Node::Schedule;
   using sim::Node::Now;
   using sim::Node::Rng;
+  // Exposed so composed layers can reach the network's optional
+  // metrics()/tracer() (null before the agent joins a network).
+  using sim::Node::attached_network;
 
   // Peers used to re-join after a restart or when tables are empty.
   void SetSeedPeers(std::vector<sim::NodeId> seeds) { seeds_ = std::move(seeds); }
@@ -163,6 +166,20 @@ class Agent : public sim::Node {
   // Copy-on-write access to a table replica.
   Table& MutableTableAt(std::size_t level);
 
+  // ---- observability (all null-safe; ids registered lazily) -------------
+  obs::MetricsRegistry* Metrics();
+  obs::EventTracer* Tracer() const;
+  void NoteCertReject(const std::string& subject);
+  // Detects changes to the set of levels this agent represents and emits
+  // an election event (the first evaluation only sets the baseline).
+  void TraceElectionChanges();
+  struct ObsIds {
+    bool init = false;
+    std::uint32_t rounds, exchanges, rows_merged, rows_expired, recomputes,
+        cert_rejects, elections;
+  };
+  static constexpr std::uint32_t kNoRepMask = 0xffffffffu;
+
   AgentConfig config_;
   Row mib_;
   std::vector<std::shared_ptr<Table>> tables_;  // size == Depth()
@@ -174,6 +191,8 @@ class Agent : public sim::Node {
   std::uint64_t version_counter_ = 0;
   bool started_ = false;
   GossipStats stats_;
+  ObsIds obs_{};
+  std::uint32_t rep_mask_ = kNoRepMask;  // bit l: represents at level l
 };
 
 }  // namespace nw::astrolabe

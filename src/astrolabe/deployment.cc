@@ -52,6 +52,8 @@ Deployment::Deployment(DeploymentConfig config)
       }()) {
   assert(config_.num_agents >= 1);
   assert(config_.branching >= 2);
+  if (config_.metrics != nullptr) net_.SetMetrics(config_.metrics);
+  if (config_.tracer != nullptr) net_.SetTracer(config_.tracer);
   depth_ = DepthFor(config_.num_agents, config_.branching);
 
   core_fn_cert_ = root_authority_.Issue(

@@ -29,6 +29,10 @@ struct DeploymentConfig {
   std::size_t seed_peers = 3;  // bootstrap contacts per agent
   sim::NetworkConfig net;
   std::uint64_t seed = 1;
+  // Optional observability sinks, installed on the network before any
+  // agent joins. Caller-owned; must outlive the deployment.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::EventTracer* tracer = nullptr;
 };
 
 class Deployment {

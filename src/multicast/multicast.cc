@@ -24,6 +24,19 @@ MulticastService::MulticastService(Agent& agent, MulticastConfig config)
   }
 }
 
+obs::MetricsRegistry* MulticastService::Metrics() {
+  auto* net = agent_.attached_network();
+  auto* m = net != nullptr ? net->metrics() : nullptr;
+  if (m != nullptr && !obs_.init) {
+    obs_.delivered = m->Counter("multicast.forward.delivered");
+    obs_.duplicates = m->Counter("multicast.forward.duplicates");
+    obs_.forwards = m->Counter("multicast.forward.forwards");
+    obs_.queue_drops = m->Counter("multicast.forward.queue_drops");
+    obs_.init = true;
+  }
+  return m;
+}
+
 void MulticastService::ReportLoad() {
   // Utilization of the forwarding budget since the last report, smoothed;
   // fed into representative election via the "load" MIB attribute (§5).
@@ -92,10 +105,19 @@ void MulticastService::Disseminate(Item item) {
   }
   if (SeenBefore(item.id)) {
     ++stats_.duplicates;
+    if (auto* m = Metrics()) m->Add(obs_.duplicates, agent_.id());
+    if (auto* net = agent_.attached_network(); net != nullptr) {
+      if (auto* t = net->tracer();
+          t != nullptr && t->Enabled(obs::EventCategory::kCache)) {
+        t->Record(agent_.Now(), agent_.id(), obs::EventCategory::kCache,
+                  "mc.dup", item.hops, 0, item.id);
+      }
+    }
     return;
   }
   // Member of the target zone: deliver locally once.
   ++stats_.delivered;
+  if (auto* m = Metrics()) m->Add(obs_.delivered, agent_.id());
   if (deliver_) deliver_(item);
 
   // Recursive expansion (§5): forward to representatives of every child
@@ -166,6 +188,14 @@ void MulticastService::EnqueueForChild(const std::string& child_key,
   q.weight = weight;
   if (q.entries.size() >= config_.max_queue_items) {
     ++stats_.queue_drops;
+    if (auto* m = Metrics()) m->Add(obs_.queue_drops, agent_.id());
+    if (auto* net = agent_.attached_network(); net != nullptr) {
+      if (auto* t = net->tracer();
+          t != nullptr && t->Enabled(obs::EventCategory::kDrop)) {
+        t->Record(agent_.Now(), agent_.id(), obs::EventCategory::kDrop,
+                  "mc.queue_drop", q.entries.size(), 0, entry.item.id);
+      }
+    }
     return;
   }
   q.entries.push_back(std::move(entry));
@@ -176,8 +206,10 @@ bool MulticastService::SendEntry(QueueEntry& entry, double now) {
   const double cost = static_cast<double>(
       wire * std::max<std::size_t>(1, entry.destinations.size()));
   if (!budget_.TryConsume(now, cost)) return false;
+  obs::MetricsRegistry* m = Metrics();
   for (sim::NodeId rep : entry.destinations) {
     ++stats_.forwards;
+    if (m != nullptr) m->Add(obs_.forwards, agent_.id());
     stats_.forward_bytes += wire;
     agent_.Send(
         sim::Message::Make(agent_.id(), rep, kForwardType, entry.item, wire));

@@ -119,6 +119,13 @@ class MulticastService {
     std::uint64_t credit = 0;  // WRR state
   };
 
+  // Observability (null-safe; ids registered lazily on first use).
+  obs::MetricsRegistry* Metrics();
+  struct ObsIds {
+    bool init = false;
+    std::uint32_t delivered, duplicates, forwards, queue_drops;
+  };
+
   void HandleForward(const sim::Message& msg);
   void Disseminate(Item item);
   bool SeenBefore(const std::string& id);
@@ -145,6 +152,7 @@ class MulticastService {
   std::uint64_t last_reported_bytes_ = 0;
   double load_ewma_ = 0.0;
   MulticastStats stats_;
+  ObsIds obs_{};
 };
 
 }  // namespace nw::multicast

@@ -9,9 +9,21 @@ Publisher::Publisher(astrolabe::Agent& agent, pubsub::PubSubService& pubsub,
       config_(std::move(config)),
       flow_(config_.max_items_per_sec, config_.burst) {}
 
+obs::MetricsRegistry* Publisher::Metrics() {
+  auto* net = agent_.attached_network();
+  auto* m = net != nullptr ? net->metrics() : nullptr;
+  if (m != nullptr && !obs_.init) {
+    obs_.published = m->Counter("newswire.publisher.published");
+    obs_.throttled = m->Counter("newswire.publisher.throttled");
+    obs_.init = true;
+  }
+  return m;
+}
+
 bool Publisher::Publish(NewsItem item, const astrolabe::ZonePath& scope) {
   if (!flow_.TryConsume(agent_.Now())) {
     ++stats_.throttled;
+    if (auto* m = Metrics()) m->Add(obs_.throttled, agent_.id());
     return false;
   }
   item.publisher = config_.name;
@@ -21,6 +33,14 @@ bool Publisher::Publish(NewsItem item, const astrolabe::ZonePath& scope) {
   item.signature = astrolabe::SignDigest(config_.signing_key, item.Digest());
   const std::string subject = item.subject;
   ++stats_.published;
+  if (auto* m = Metrics()) m->Add(obs_.published, agent_.id());
+  if (auto* net = agent_.attached_network(); net != nullptr) {
+    if (auto* t = net->tracer();
+        t != nullptr && t->Enabled(obs::EventCategory::kPublish)) {
+      t->Record(agent_.Now(), agent_.id(), obs::EventCategory::kPublish,
+                "pub.item", item.seq, item.body_bytes, item.Id());
+    }
+  }
   if (hook_) hook_(item);
   pubsub_.Publish(item.ToMulticastItem(), subject, scope,
                   item.forward_predicate);

@@ -54,6 +54,13 @@ class Publisher {
   const Stats& stats() const { return stats_; }
 
  private:
+  // Observability (null-safe; ids registered lazily on first use).
+  obs::MetricsRegistry* Metrics();
+  struct ObsIds {
+    bool init = false;
+    std::uint32_t published, throttled;
+  };
+
   astrolabe::Agent& agent_;
   pubsub::PubSubService& pubsub_;
   PublisherConfig config_;
@@ -61,6 +68,7 @@ class Publisher {
   std::uint64_t next_seq_ = 1;
   PublishHook hook_;
   Stats stats_;
+  ObsIds obs_{};
 };
 
 }  // namespace nw::newswire

@@ -25,6 +25,29 @@ std::size_t Subscriber::ItemBatch::WireBytes() const {
   return n;
 }
 
+obs::MetricsRegistry* Subscriber::Metrics() {
+  auto* net = agent_.attached_network();
+  auto* m = net != nullptr ? net->metrics() : nullptr;
+  if (m != nullptr && !obs_.init) {
+    obs_.accepted = m->Counter("newswire.subscriber.accepted");
+    obs_.repaired = m->Counter("newswire.subscriber.repaired");
+    obs_.state_transfer = m->Counter("newswire.subscriber.state_transfer");
+    obs_.latency = m->Histogram("newswire.subscriber.latency_s",
+                                obs::MetricsRegistry::LatencyBucketsSeconds());
+    obs_.dup_suppressed = m->Counter("newswire.cache.duplicate_suppressed");
+    obs_.repair_rounds = m->Counter("newswire.subscriber.repair_rounds");
+    obs_.pull_served = m->Counter("newswire.cache.pull_items_served");
+    obs_.rejected = m->Counter("newswire.subscriber.rejected");
+    obs_.init = true;
+  }
+  return m;
+}
+
+obs::EventTracer* Subscriber::Tracer() const {
+  auto* net = agent_.attached_network();
+  return net != nullptr ? net->tracer() : nullptr;
+}
+
 Subscriber::Subscriber(astrolabe::Agent& agent,
                        pubsub::PubSubService& pubsub, SubscriberConfig config)
     : agent_(agent),
@@ -82,10 +105,12 @@ bool Subscriber::Accept(const NewsItem& item, Source source) {
     auto key = publisher_keys_.find(item.publisher);
     if (key == publisher_keys_.end()) {
       ++stats_.unknown_publisher;
+      if (auto* m = Metrics()) m->Add(obs_.rejected, agent_.id());
       return false;
     }
     if (!astrolabe::VerifyDigest(key->second, item.Digest(), item.signature)) {
       ++stats_.bad_signature;
+      if (auto* m = Metrics()) m->Add(obs_.rejected, agent_.id());
       return false;
     }
   }
@@ -102,7 +127,14 @@ bool Subscriber::Accept(const NewsItem& item, Source source) {
       return false;
     }
   }
-  if (!cache_.Insert(item, agent_.Now())) return false;  // dup or stale rev
+  if (!cache_.Insert(item, agent_.Now())) {  // dup or stale revision
+    if (auto* m = Metrics()) m->Add(obs_.dup_suppressed, agent_.id());
+    if (auto* t = Tracer(); t != nullptr && t->Enabled(obs::EventCategory::kCache)) {
+      t->Record(agent_.Now(), agent_.id(), obs::EventCategory::kCache,
+                "cache.dup", 0, 0, item.Id());
+    }
+    return false;
+  }
   switch (source) {
     case Source::kDelivery: ++stats_.received; break;
     case Source::kRepair: ++stats_.repaired; break;
@@ -110,6 +142,26 @@ bool Subscriber::Accept(const NewsItem& item, Source source) {
   }
   const double latency = agent_.Now() - item.published_at;
   latency_.Add(latency);
+  if (auto* m = Metrics()) {
+    m->Add(obs_.accepted, agent_.id());
+    if (source == Source::kRepair) m->Add(obs_.repaired, agent_.id());
+    if (source == Source::kStateTransfer) {
+      m->Add(obs_.state_transfer, agent_.id());
+    }
+    m->Observe(obs_.latency, agent_.id(), latency);
+  }
+  if (auto* t = Tracer(); t != nullptr) {
+    const obs::EventCategory cat = source == Source::kDelivery
+                                       ? obs::EventCategory::kDeliver
+                                       : obs::EventCategory::kRepair;
+    if (t->Enabled(cat)) {
+      t->Record(agent_.Now(), agent_.id(), cat,
+                source == Source::kDelivery       ? "news.accept"
+                : source == Source::kRepair       ? "news.accept.repair"
+                                                  : "news.accept.xfer",
+                item.seq, std::uint64_t(latency * 1e6) /*us*/, item.Id());
+    }
+  }
   for (const auto& handler : handlers_) handler(item, latency);
   return true;
 }
@@ -141,6 +193,7 @@ std::vector<sim::NodeId> Subscriber::LeafPeers() const {
 
 void Subscriber::RepairRound() {
   ++stats_.repair_rounds;
+  if (auto* m = Metrics()) m->Add(obs_.repair_rounds, agent_.id());
   const auto peers = LeafPeers();
   if (!peers.empty()) {
     const sim::NodeId peer = peers[agent_.Rng().NextBelow(peers.size())];
@@ -150,6 +203,10 @@ void Subscriber::RepairRound() {
     digest.subjects.assign(pubsub_.subjects().begin(),
                            pubsub_.subjects().end());
     digest.known_ids = cache_.IdsSince(digest.since);
+    if (auto* t = Tracer(); t != nullptr && t->Enabled(obs::EventCategory::kRepair)) {
+      t->Record(agent_.Now(), agent_.id(), obs::EventCategory::kRepair,
+                "repair.digest", peer, digest.known_ids.size());
+    }
     const std::size_t wire = digest.WireBytes();
     agent_.Send(sim::Message::Make(agent_.id(), peer, kDigestType,
                                    std::move(digest), wire));
@@ -177,6 +234,13 @@ void Subscriber::HandleDigest(const sim::Message& msg) {
     }
   }
   if (batch.items.empty()) return;
+  if (auto* m = Metrics()) {
+    m->Add(obs_.pull_served, agent_.id(), batch.items.size());
+  }
+  if (auto* t = Tracer(); t != nullptr && t->Enabled(obs::EventCategory::kRepair)) {
+    t->Record(agent_.Now(), agent_.id(), obs::EventCategory::kRepair,
+              "repair.serve", msg.from, batch.items.size());
+  }
   const std::size_t wire = batch.WireBytes();
   agent_.Send(sim::Message::Make(agent_.id(), msg.from, kRepairType,
                                  std::move(batch), wire));

@@ -108,6 +108,15 @@ class Subscriber {
  private:
   enum class Source { kDelivery, kRepair, kStateTransfer };
 
+  // Observability (null-safe; ids registered lazily on first use).
+  obs::MetricsRegistry* Metrics();
+  obs::EventTracer* Tracer() const;
+  struct ObsIds {
+    bool init = false;
+    std::uint32_t accepted, repaired, state_transfer, latency, dup_suppressed,
+        repair_rounds, pull_served, rejected;
+  };
+
   void OnNews(const multicast::Item& item);
   bool Accept(const NewsItem& item, Source source);
   void RepairRound();
@@ -124,6 +133,7 @@ class Subscriber {
   std::map<std::string, astrolabe::PublicKey> publisher_keys_;
   util::SampleStats latency_;
   Stats stats_;
+  ObsIds obs_{};
   bool started_ = false;
 };
 

@@ -15,6 +15,8 @@ astrolabe::DeploymentConfig MakeDeploymentConfig(const SystemConfig& cfg) {
   dc.contacts_per_zone = cfg.contacts_per_zone;
   dc.net = cfg.net;
   dc.seed = cfg.seed;
+  dc.metrics = cfg.metrics;
+  dc.tracer = cfg.tracer;
   return dc;
 }
 

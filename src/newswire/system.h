@@ -46,6 +46,10 @@ struct SystemConfig {
   bool warm_start = true;  // install converged replicas directly
   bool run_gossip = true;  // start the epidemic protocol
   std::uint64_t seed = 1;
+  // Optional observability sinks (see src/obs), forwarded to the network
+  // before any node joins. Caller-owned; must outlive the system.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::EventTracer* tracer = nullptr;
 };
 
 class NewswireSystem {

@@ -284,6 +284,15 @@ void FaultPlan::ApplyTo(Network& net, Time base) const {
   // Rates to restore when a fault window closes, captured now so a plan
   // applied to a tuned network puts things back the way it found them.
   const double base_loss = net.config().loss_prob;
+  // Plan-driven network reconfiguration; Kill/Restart trace on their own.
+  auto trace = [&net](const char* type, NodeId node, std::uint64_t a = 0,
+                      std::uint64_t b = 0) {
+    if (net.tracer() != nullptr) {
+      net.tracer()->Record(net.simulator().Now(),
+                           node == kInvalidNode ? 0 : node,
+                           obs::EventCategory::kFault, type, a, b);
+    }
+  };
   for (const FaultEvent& ev : events_) {
     switch (ev.kind) {
       case FaultEvent::Kind::kCrash:
@@ -293,21 +302,31 @@ void FaultPlan::ApplyTo(Network& net, Time base) const {
         sim.At(base + ev.at, [&net, node = ev.node] { net.Restart(node); });
         break;
       case FaultEvent::Kind::kPartition:
-        sim.At(base + ev.at, [&net, groups = ev.groups] {
+        sim.At(base + ev.at, [&net, trace, groups = ev.groups] {
           for (std::size_t g = 0; g < groups.size(); ++g) {
             for (NodeId n : groups[g]) {
               net.SetPartitionGroup(n, int(g) + 1);
+              trace("fault.partition", n, g + 1);
             }
           }
         });
         break;
       case FaultEvent::Kind::kHeal:
-        sim.At(base + ev.at, [&net] { net.HealPartitions(); });
+        sim.At(base + ev.at, [&net, trace] {
+          net.HealPartitions();
+          trace("fault.heal", kInvalidNode);
+        });
         break;
       case FaultEvent::Kind::kLossBurst:
-        sim.At(base + ev.at, [&net, p = ev.value] { net.SetLossProb(p); });
-        sim.At(base + ev.until, [&net, base_loss] {
+        sim.At(base + ev.at, [&net, trace, p = ev.value] {
+          net.SetLossProb(p);
+          trace("fault.loss_begin", kInvalidNode,
+                std::uint64_t(p * 1e6) /*ppm*/);
+        });
+        sim.At(base + ev.until, [&net, trace, base_loss] {
           net.SetLossProb(base_loss);
+          trace("fault.loss_end", kInvalidNode,
+                std::uint64_t(base_loss * 1e6));
         });
         break;
       case FaultEvent::Kind::kSlowUplink: {
@@ -318,11 +337,14 @@ void FaultPlan::ApplyTo(Network& net, Time base) const {
             for (NodeId n = 0; n < NodeId(net.NodeCount()); ++n) fn(n);
           }
         };
-        sim.At(base + ev.at, [&net, each, node = ev.node, rate = ev.value] {
+        sim.At(base + ev.at, [&net, each, trace, node = ev.node,
+                              rate = ev.value] {
           each(node, [&net, rate](NodeId n) { net.SetUplinkRate(n, rate); });
+          trace("fault.slow_begin", node, std::uint64_t(rate));
         });
-        sim.At(base + ev.until, [&net, each, node = ev.node] {
+        sim.At(base + ev.until, [&net, each, trace, node = ev.node] {
           each(node, [&net](NodeId n) { net.ResetUplinkRate(n); });
+          trace("fault.slow_end", node);
         });
         break;
       }

@@ -20,7 +20,25 @@ NodeId Network::AddNode(Node* node) {
   node->net_ = this;
   node->id_ = id;
   node->rng_ = sim_.Rng().Fork(0x4e6f6465u /*'Node'*/ + id);
+  if (metrics_ != nullptr) metrics_->EnsureNodes(nodes_.size());
   return id;
+}
+
+void Network::SetMetrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  metrics_->EnsureNodes(std::max<std::size_t>(1, nodes_.size()));
+  ids_.sent = metrics_->Counter("sim.network.messages_sent");
+  ids_.bytes_sent = metrics_->Counter("sim.network.bytes_sent");
+  ids_.delivered = metrics_->Counter("sim.network.messages_delivered");
+  ids_.bytes_received = metrics_->Counter("sim.network.bytes_received");
+  ids_.drops_loss = metrics_->Counter("sim.network.drops_loss");
+  ids_.drops_dead = metrics_->Counter("sim.network.drops_dead_endpoint");
+  ids_.drops_stale = metrics_->Counter("sim.network.drops_stale_incarnation");
+  ids_.drops_partition = metrics_->Counter("sim.network.drops_partition");
+  ids_.uplink_backlog = metrics_->Gauge("sim.network.uplink_backlog_s");
+  ids_.kills = metrics_->Counter("sim.network.node_kills");
+  ids_.restarts = metrics_->Counter("sim.network.node_restarts");
 }
 
 void Network::Send(Message msg) {
@@ -32,9 +50,22 @@ void Network::Send(Message msg) {
   const std::size_t wire = msg.wire_bytes + config_.per_message_overhead;
   stats_[from].messages_sent += 1;
   stats_[from].bytes_sent += wire;
+  if (metrics_ != nullptr) {
+    metrics_->Add(ids_.sent, from);
+    metrics_->Add(ids_.bytes_sent, from, wire);
+  }
+  if (tracer_ != nullptr && tracer_->Enabled(obs::EventCategory::kSend)) {
+    tracer_->Record(sim_.Now(), from, obs::EventCategory::kSend, "net.send",
+                    to, wire, msg.type);
+  }
 
   if (!alive_[from]) {
     stats_[from].messages_dropped += 1;
+    if (metrics_ != nullptr) metrics_->Add(ids_.drops_dead, from);
+    if (tracer_ != nullptr) {
+      tracer_->Record(sim_.Now(), from, obs::EventCategory::kDrop,
+                      "net.drop.sender_dead", to, wire, msg.type);
+    }
     return;
   }
 
@@ -42,6 +73,10 @@ void Network::Send(Message msg) {
   const Time start = std::max(sim_.Now(), uplink_free_at_[from]);
   const Time departure = start + double(wire) / uplink_rate_[from];
   uplink_free_at_[from] = departure;
+  if (metrics_ != nullptr) {
+    // Queueing delay a message sent right now would see on this uplink.
+    metrics_->Set(ids_.uplink_backlog, from, departure - sim_.Now());
+  }
 
   const double jitter =
       config_.base_latency * config_.jitter_frac * sim_.Rng().NextDouble();
@@ -52,13 +87,39 @@ void Network::Send(Message msg) {
 
   sim_.At(arrival, [this, msg = std::move(msg), wire, lost, to, from,
                     to_inc]() mutable {
-    if (lost || !alive_[to] || incarnation_[to] != to_inc ||
-        partition_[from] != partition_[to]) {
+    const bool dead = !alive_[to];
+    const bool stale = !dead && incarnation_[to] != to_inc;
+    const bool partitioned =
+        !lost && !dead && !stale && partition_[from] != partition_[to];
+    if (lost || dead || stale || partitioned) {
       stats_[to].messages_dropped += 1;
+      if (metrics_ != nullptr) {
+        metrics_->Add(lost    ? ids_.drops_loss
+                      : dead  ? ids_.drops_dead
+                      : stale ? ids_.drops_stale
+                              : ids_.drops_partition,
+                      to);
+      }
+      if (tracer_ != nullptr && tracer_->Enabled(obs::EventCategory::kDrop)) {
+        tracer_->Record(sim_.Now(), to, obs::EventCategory::kDrop,
+                        lost    ? "net.drop.loss"
+                        : dead  ? "net.drop.dead_endpoint"
+                        : stale ? "net.drop.stale_incarnation"
+                                : "net.drop.partition",
+                        from, wire, msg.type);
+      }
       return;
     }
     stats_[to].messages_received += 1;
     stats_[to].bytes_received += wire;
+    if (metrics_ != nullptr) {
+      metrics_->Add(ids_.delivered, to);
+      metrics_->Add(ids_.bytes_received, to, wire);
+    }
+    if (tracer_ != nullptr && tracer_->Enabled(obs::EventCategory::kDeliver)) {
+      tracer_->Record(sim_.Now(), to, obs::EventCategory::kDeliver,
+                      "net.deliver", from, wire, msg.type);
+    }
     nodes_[to]->OnMessage(msg);
   });
 }
@@ -68,6 +129,11 @@ void Network::Kill(NodeId id) {
   if (!alive_[id]) return;
   alive_[id] = false;
   incarnation_[id] += 1;  // invalidates in-flight deliveries and timers
+  if (metrics_ != nullptr) metrics_->Add(ids_.kills, id);
+  if (tracer_ != nullptr) {
+    tracer_->Record(sim_.Now(), id, obs::EventCategory::kFault, "net.kill",
+                    incarnation_[id]);
+  }
   util::LogInfo("sim: node %u killed at t=%.2f", id, sim_.Now());
 }
 
@@ -77,6 +143,11 @@ void Network::Restart(NodeId id) {
   alive_[id] = true;
   incarnation_[id] += 1;
   uplink_free_at_[id] = sim_.Now();
+  if (metrics_ != nullptr) metrics_->Add(ids_.restarts, id);
+  if (tracer_ != nullptr) {
+    tracer_->Record(sim_.Now(), id, obs::EventCategory::kFault, "net.restart",
+                    incarnation_[id]);
+  }
   nodes_[id]->OnRestart();
   util::LogInfo("sim: node %u restarted at t=%.2f", id, sim_.Now());
 }

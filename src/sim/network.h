@@ -10,6 +10,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/message.h"
 #include "sim/simulator.h"
 
@@ -79,6 +81,14 @@ class Network {
   Simulator& simulator() noexcept { return sim_; }
   const NetworkConfig& config() const noexcept { return config_; }
 
+  // ---- observability (optional; null by default) ------------------------
+  // The registry/tracer are owned by the caller and must outlive the
+  // network. Layers above reach them through node.network().metrics() etc.
+  void SetMetrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
+  void SetTracer(obs::EventTracer* tracer) noexcept { tracer_ = tracer; }
+  obs::EventTracer* tracer() const noexcept { return tracer_; }
+
  private:
   Simulator& sim_;
   NetworkConfig config_;
@@ -89,6 +99,14 @@ class Network {
   std::vector<double> uplink_rate_;  // bytes/sec, default config value
   std::vector<Time> uplink_free_at_;
   std::vector<TrafficStats> stats_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::EventTracer* tracer_ = nullptr;
+  struct MetricIds {
+    obs::MetricsRegistry::MetricId sent, bytes_sent, delivered,
+        bytes_received, drops_loss, drops_dead, drops_stale, drops_partition,
+        uplink_backlog, kills, restarts;
+  } ids_{};
 };
 
 // Base class for simulated hosts. Subclasses implement OnMessage and use
@@ -125,6 +143,9 @@ class Node {
   Time Now() const { return net_->simulator().Now(); }
   util::DeterministicRng& Rng() { return rng_; }
   Network& network() { return *net_; }
+  // Null until the node is added to a network; lets instrumentation probe
+  // for metrics()/tracer() without asserting attachment.
+  Network* attached_network() const noexcept { return net_; }
 
  private:
   friend class Network;

@@ -2,7 +2,6 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -50,14 +49,17 @@ class SampleStats {
     return std::sqrt(acc / (Count() - 1));
   }
 
-  // Exact percentile by nearest-rank, q in [0,100].
+  // Exact percentile by nearest-rank; q is clamped into [0,100], so an
+  // out-of-range quantile can never index out of bounds.
   double Percentile(double q) const {
-    assert(q >= 0.0 && q <= 100.0);
     if (Empty()) return 0.0;
     EnsureSorted();
     const std::size_t n = samples_.size();
-    std::size_t rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
-    if (rank == 0) rank = 1;
+    q = std::clamp(q, 0.0, 100.0);
+    // Multiply before dividing: 100.0/100.0*n style rounding must not push
+    // the rank past n (nor below 1 for q == 0).
+    auto rank = static_cast<std::size_t>(std::ceil(q * double(n) / 100.0));
+    rank = std::clamp<std::size_t>(rank, 1, n);
     return samples_[rank - 1];
   }
 

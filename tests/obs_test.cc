@@ -1,0 +1,330 @@
+// Unit tests for the observability layer: MetricsRegistry (counters,
+// gauges, histograms, snapshots, per-node scoping) and EventTracer (ring
+// wraparound, category filtering, JSONL round-trip, sequence hashing).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace nw::obs {
+namespace {
+
+// ---- MetricsRegistry --------------------------------------------------
+
+TEST(MetricsRegistry, CounterAddAndTotals) {
+  MetricsRegistry reg(3);
+  const auto id = reg.Counter("sim.network.messages_sent");
+  ASSERT_NE(id, MetricsRegistry::kInvalidMetric);
+  reg.Add(id, 0);        // default delta 1
+  reg.Add(id, 1, 5);
+  reg.Add(id, 1);
+  EXPECT_EQ(reg.CounterValue(id, 0), 1u);
+  EXPECT_EQ(reg.CounterValue(id, 1), 6u);
+  EXPECT_EQ(reg.CounterValue(id, 2), 0u);
+  EXPECT_EQ(reg.CounterTotal(id), 7u);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName) {
+  MetricsRegistry reg(1);
+  const auto a = reg.Counter("x.y.z");
+  const auto b = reg.Counter("x.y.z");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.metric_count(), 1u);
+}
+
+TEST(MetricsRegistry, KindMismatchReturnsInvalid) {
+  MetricsRegistry reg(1);
+  const auto c = reg.Counter("same.name");
+  ASSERT_NE(c, MetricsRegistry::kInvalidMetric);
+  EXPECT_EQ(reg.Gauge("same.name"), MetricsRegistry::kInvalidMetric);
+  EXPECT_EQ(reg.Histogram("same.name", {1.0}),
+            MetricsRegistry::kInvalidMetric);
+  // Updates through the invalid id are harmless no-ops.
+  reg.Add(MetricsRegistry::kInvalidMetric, 0);
+  reg.Set(MetricsRegistry::kInvalidMetric, 0, 1.0);
+  reg.Observe(MetricsRegistry::kInvalidMetric, 0, 1.0);
+  EXPECT_EQ(reg.CounterTotal(c), 0u);
+}
+
+TEST(MetricsRegistry, OutOfRangeNodeIsNoOp) {
+  MetricsRegistry reg(2);
+  const auto id = reg.Counter("c");
+  reg.Add(id, 99);  // node does not exist
+  EXPECT_EQ(reg.CounterTotal(id), 0u);
+}
+
+TEST(MetricsRegistry, EnsureNodesGrowsAndPreserves) {
+  MetricsRegistry reg(1);
+  const auto c = reg.Counter("c");
+  const auto g = reg.Gauge("g");
+  reg.Add(c, 0, 3);
+  reg.Set(g, 0, 2.5);
+  reg.EnsureNodes(4);
+  EXPECT_EQ(reg.node_count(), 4u);
+  EXPECT_EQ(reg.CounterValue(c, 0), 3u);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue(g, 0), 2.5);
+  reg.Add(c, 3, 2);  // the new node is writable
+  EXPECT_EQ(reg.CounterTotal(c), 5u);
+  reg.EnsureNodes(2);  // shrinking requests are ignored
+  EXPECT_EQ(reg.node_count(), 4u);
+}
+
+TEST(MetricsRegistry, GaugeHoldsLastValuePerNode) {
+  MetricsRegistry reg(2);
+  const auto id = reg.Gauge("sim.network.uplink_backlog_s");
+  reg.Set(id, 0, 1.0);
+  reg.Set(id, 0, 0.25);
+  reg.Set(id, 1, 9.0);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue(id, 0), 0.25);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue(id, 1), 9.0);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndQuantiles) {
+  MetricsRegistry reg(2);
+  const auto id = reg.Histogram("lat", {0.1, 1.0, 10.0});
+  ASSERT_NE(id, MetricsRegistry::kInvalidMetric);
+  reg.Observe(id, 0, 0.05);   // bucket 0
+  reg.Observe(id, 0, 0.5);    // bucket 1
+  reg.Observe(id, 1, 5.0);    // bucket 2
+  reg.Observe(id, 1, 100.0);  // overflow
+  const auto snap = reg.Snap();
+  const auto* m = snap.Find("lat");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::kHistogram);
+  const auto& h = m->histogram;
+  ASSERT_EQ(h.counts.size(), 4u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[3], 1u);  // overflow bucket
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.min, 0.05);
+  EXPECT_DOUBLE_EQ(h.max, 100.0);
+  EXPECT_NEAR(h.Mean(), (0.05 + 0.5 + 5.0 + 100.0) / 4, 1e-12);
+  // Quantiles report the holding bucket's upper edge (max for overflow).
+  EXPECT_DOUBLE_EQ(h.Quantile(25), 0.1);
+  EXPECT_DOUBLE_EQ(h.Quantile(50), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(75), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(100), 100.0);
+}
+
+TEST(MetricsRegistry, SnapshotIsIsolatedFromLaterUpdates) {
+  MetricsRegistry reg(1);
+  const auto c = reg.Counter("c");
+  const auto h = reg.Histogram("h", {1.0});
+  reg.Add(c, 0, 10);
+  reg.Observe(h, 0, 0.5);
+  const auto snap = reg.Snap();
+  reg.Add(c, 0, 90);
+  reg.Observe(h, 0, 0.5);
+  EXPECT_EQ(snap.Find("c")->counter_total, 10u);
+  EXPECT_EQ(snap.Find("h")->histogram.count, 1u);
+  EXPECT_EQ(reg.CounterTotal(c), 100u);
+}
+
+TEST(MetricsRegistry, SnapshotSortedByNameAndFindMisses) {
+  MetricsRegistry reg(1);
+  reg.Counter("zzz");
+  reg.Counter("aaa");
+  reg.Gauge("mmm");
+  const auto snap = reg.Snap();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "aaa");
+  EXPECT_EQ(snap.metrics[1].name, "mmm");
+  EXPECT_EQ(snap.metrics[2].name, "zzz");
+  EXPECT_EQ(snap.Find("nope"), nullptr);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsIds) {
+  MetricsRegistry reg(2);
+  const auto c = reg.Counter("c");
+  const auto g = reg.Gauge("g");
+  const auto h = reg.Histogram("h", {1.0});
+  reg.Add(c, 1, 7);
+  reg.Set(g, 0, 3.0);
+  reg.Observe(h, 0, 0.5);
+  reg.Reset();
+  EXPECT_EQ(reg.CounterTotal(c), 0u);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue(g, 0), 0.0);
+  EXPECT_EQ(reg.Snap().Find("h")->histogram.count, 0u);
+  // Same id still works after the reset.
+  reg.Add(c, 1, 2);
+  EXPECT_EQ(reg.CounterTotal(c), 2u);
+}
+
+TEST(MetricsRegistry, WriteJsonIsParseableShape) {
+  MetricsRegistry reg(2);
+  reg.Add(reg.Counter("c"), 0, 4);
+  reg.Set(reg.Gauge("g"), 1, 1.5);
+  reg.Observe(reg.Histogram("h", MetricsRegistry::LatencyBucketsSeconds()),
+              0, 0.123);
+  char buf[8192] = {};
+  FILE* mem = tmpfile();
+  ASSERT_NE(mem, nullptr);
+  reg.Snap().WriteJson(mem);
+  std::fflush(mem);
+  std::rewind(mem);
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, mem);
+  std::fclose(mem);
+  const std::string json(buf, n);
+  EXPECT_NE(json.find("\"nodes\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"c\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+// ---- EventTracer ------------------------------------------------------
+
+TEST(EventTracer, RecordsAndKeepsOrder) {
+  EventTracer tracer(8);
+  tracer.Record(1.0, 3, EventCategory::kSend, "net.send", 7, 100, "gossip");
+  tracer.Record(2.0, 4, EventCategory::kDeliver, "net.deliver", 3, 100);
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].time, 1.0);
+  EXPECT_EQ(events[0].node, 3u);
+  EXPECT_EQ(events[0].category, EventCategory::kSend);
+  EXPECT_STREQ(events[0].type, "net.send");
+  EXPECT_EQ(events[0].a, 7u);
+  EXPECT_EQ(events[0].b, 100u);
+  EXPECT_STREQ(events[0].detail, "gossip");
+  EXPECT_EQ(events[1].node, 4u);
+}
+
+TEST(EventTracer, RingWrapsKeepingNewest) {
+  EventTracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.Record(double(i), std::uint32_t(i), EventCategory::kGossip,
+                  "gossip.round", std::uint64_t(i));
+  }
+  EXPECT_EQ(tracer.capacity(), 4u);
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.overwritten(), 6u);
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest surviving first: 6, 7, 8, 9.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].a, 6 + i);
+  }
+}
+
+TEST(EventTracer, CategoryMaskFiltersAtRecordTime) {
+  EventTracer tracer(16, CategoryBit(EventCategory::kDrop));
+  EXPECT_TRUE(tracer.Enabled(EventCategory::kDrop));
+  EXPECT_FALSE(tracer.Enabled(EventCategory::kGossip));
+  tracer.Record(1.0, 0, EventCategory::kGossip, "gossip.round");
+  tracer.Record(2.0, 0, EventCategory::kDrop, "net.drop.loss");
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.Events()[0].category, EventCategory::kDrop);
+}
+
+TEST(EventTracer, DetailIsTruncatedNotOverflowed) {
+  EventTracer tracer(4);
+  const std::string longid(200, 'x');
+  tracer.Record(0.0, 0, EventCategory::kCache, "cache.dup", 0, 0, longid);
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  const std::string detail = events[0].detail;
+  EXPECT_LT(detail.size(), sizeof(TraceEvent{}.detail));
+  EXPECT_EQ(detail, std::string(detail.size(), 'x'));
+}
+
+TEST(EventTracer, CategoryNamesRoundTrip) {
+  for (unsigned c = 0; c < unsigned(EventCategory::kCount_); ++c) {
+    const auto cat = EventCategory(c);
+    const auto back = CategoryFromName(CategoryName(cat));
+    ASSERT_TRUE(back.has_value()) << CategoryName(cat);
+    EXPECT_EQ(*back, cat);
+  }
+  EXPECT_FALSE(CategoryFromName("bogus").has_value());
+}
+
+TEST(EventTracer, ParseCategoryMaskLists) {
+  EXPECT_EQ(ParseCategoryMask("all"), kAllCategories);
+  const auto m = ParseCategoryMask("gossip,drop");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, CategoryBit(EventCategory::kGossip) |
+                    CategoryBit(EventCategory::kDrop));
+  EXPECT_FALSE(ParseCategoryMask("gossip,nope").has_value());
+}
+
+TEST(EventTracer, JsonlRoundTrip) {
+  TraceEvent ev;
+  ev.time = 12.5;
+  ev.node = 42;
+  ev.category = EventCategory::kDeliver;
+  ev.type = "net.deliver";
+  ev.a = 7;
+  ev.b = 1024;
+  std::snprintf(ev.detail, sizeof ev.detail, "%s", "news#3");
+  const std::string line = EventTracer::ToJsonl(ev);
+  const auto parsed = EventTracer::ParseJsonlLine(line);
+  ASSERT_TRUE(parsed.has_value()) << line;
+  EXPECT_DOUBLE_EQ(parsed->time, 12.5);
+  EXPECT_EQ(parsed->node, 42u);
+  EXPECT_EQ(parsed->category, "deliver");
+  EXPECT_EQ(parsed->type, "net.deliver");
+  EXPECT_EQ(parsed->a, 7u);
+  EXPECT_EQ(parsed->b, 1024u);
+  EXPECT_EQ(parsed->detail, "news#3");
+}
+
+TEST(EventTracer, DumpJsonlEmitsOneParseableLinePerEvent) {
+  EventTracer tracer(8);
+  tracer.Record(1.0, 1, EventCategory::kPublish, "pub.item", 1, 2, "a#1");
+  tracer.Record(2.0, 2, EventCategory::kFault, "net.kill", 1);
+  FILE* mem = tmpfile();
+  ASSERT_NE(mem, nullptr);
+  tracer.DumpJsonl(mem);
+  std::fflush(mem);
+  std::rewind(mem);
+  char line[512];
+  int lines = 0;
+  while (std::fgets(line, sizeof line, mem) != nullptr) {
+    auto parsed = EventTracer::ParseJsonlLine(line);
+    EXPECT_TRUE(parsed.has_value()) << line;
+    ++lines;
+  }
+  std::fclose(mem);
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(EventTracer, SequenceHashIsDeterministicAndSensitive) {
+  EventTracer a(16), b(16), c(16);
+  for (EventTracer* t : {&a, &b}) {
+    t->Record(1.0, 0, EventCategory::kSend, "net.send", 1, 64, "m");
+    t->Record(2.0, 1, EventCategory::kDeliver, "net.deliver", 0, 64, "m");
+  }
+  c.Record(1.0, 0, EventCategory::kSend, "net.send", 1, 65, "m");  // b differs
+  c.Record(2.0, 1, EventCategory::kDeliver, "net.deliver", 0, 64, "m");
+  EXPECT_EQ(a.SequenceHash(), b.SequenceHash());
+  EXPECT_NE(a.SequenceHash(), c.SequenceHash());
+  // Masked hashing folds in only the selected categories: a and c share
+  // the deliver event but differ in the send event.
+  EXPECT_EQ(a.SequenceHash(CategoryBit(EventCategory::kDeliver)),
+            c.SequenceHash(CategoryBit(EventCategory::kDeliver)));
+  EXPECT_NE(a.SequenceHash(CategoryBit(EventCategory::kSend)),
+            c.SequenceHash(CategoryBit(EventCategory::kSend)));
+  EXPECT_NE(a.SequenceHash(), 0u);
+}
+
+TEST(EventTracer, ClearEmptiesTheRing) {
+  EventTracer tracer(4);
+  tracer.Record(1.0, 0, EventCategory::kGossip, "gossip.round");
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+  EXPECT_TRUE(tracer.Events().empty());
+}
+
+}  // namespace
+}  // namespace nw::obs

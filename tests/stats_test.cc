@@ -54,6 +54,28 @@ TEST(SampleStats, NearestRankPercentiles) {
   EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
 }
 
+TEST(SampleStats, PercentileEdgeQuantilesTwoSamples) {
+  SampleStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  // Direct edge probes: rank must clamp to [1, n] on both ends, so q=0
+  // returns the first sample and q=100 the last, never off-by-one.
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 2.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 1.0);   // ceil(0.5*2)=1 -> first
+  EXPECT_DOUBLE_EQ(s.Percentile(50.1), 2.0); // ceil(1.002)=2 -> second
+}
+
+TEST(SampleStats, PercentileClampsOutOfRangeQuantiles) {
+  SampleStats s;
+  for (double x : {3.0, 1.0, 2.0}) s.Add(x);
+  // Out-of-range q is clamped instead of reading past the sample array
+  // (the old ceil(q/100*n) indexed out of bounds for q > 100 in builds
+  // without asserts).
+  EXPECT_DOUBLE_EQ(s.Percentile(-10), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1000), 3.0);
+}
+
 TEST(SampleStats, PercentileOfUnsortedInput) {
   SampleStats s;
   for (double x : {9.0, 1.0, 5.0, 3.0, 7.0}) s.Add(x);

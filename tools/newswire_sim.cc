@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "newswire/system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/fault_plan.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -53,7 +55,11 @@ void PrintUsage() {
       "  --hierarchical        subjects form a dot hierarchy (see §7)\n"
       "  --verify              publisher signature verification on\n"
       "  --bloom-bits N        subscription filter size (default 1024)\n"
-      "  --seed N              replay seed (default 1)\n");
+      "  --seed N              replay seed (default 1)\n"
+      "  --trace FILE          dump a JSONL event trace after the run\n"
+      "  --trace-capacity N    trace ring-buffer size (default 262144)\n"
+      "  --trace-categories L  comma list (gossip,send,drop,...; default all)\n"
+      "  --metrics FILE        dump the metrics registry as JSON\n");
 }
 
 }  // namespace
@@ -86,6 +92,11 @@ int main(int argc, char** argv) {
   const double kill_frac = flags.GetDouble("kill-frac", 0.0);
   const double kill_at = flags.GetDouble("kill-at", 30.0);
   const std::string fault_plan_arg = flags.GetString("fault-plan", "");
+  const std::string trace_path = flags.GetString("trace", "");
+  const std::size_t trace_capacity =
+      std::size_t(flags.GetInt("trace-capacity", 1 << 18));
+  const std::string trace_categories = flags.GetString("trace-categories", "all");
+  const std::string metrics_path = flags.GetString("metrics", "");
 
   const auto unknown = flags.UnknownFlags();
   // Query all flags first (done above), then reject leftovers.
@@ -118,6 +129,21 @@ int main(int argc, char** argv) {
     }
     fault_plan = *parsed;
   }
+
+  // Observability sinks (caller-owned; must outlive the system).
+  obs::MetricsRegistry metrics;
+  obs::EventTracer tracer(trace_capacity);
+  if (const auto mask = obs::ParseCategoryMask(trace_categories); mask) {
+    tracer.SetCategoryMask(*mask);
+  } else {
+    std::fprintf(stderr, "--trace-categories: unknown category in \"%s\"\n",
+                 trace_categories.c_str());
+    return 2;
+  }
+  const bool want_trace = !trace_path.empty();
+  const bool want_metrics = !metrics_path.empty();
+  if (want_trace) cfg.tracer = &tracer;
+  if (want_metrics) cfg.metrics = &metrics;
 
   std::printf(
       "scenario: %zu subscribers, %zu publishers, branching %zu, loss %.0f%%, "
@@ -209,5 +235,34 @@ int main(int argc, char** argv) {
   report.AddRow({"publisher egress MB", util::TablePrinter::Num(pub_bytes / 1e6, 2)});
   report.AddRow({"total network GB", util::TablePrinter::Num(double(total.bytes_sent) / 1e9, 3)});
   report.Print();
+
+  if (want_trace) {
+    FILE* out = std::fopen(trace_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "--trace: cannot open %s for writing\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    tracer.DumpJsonl(out);
+    std::fclose(out);
+    std::printf(
+        "trace: %zu events (%llu recorded, %llu overwritten) -> %s\n"
+        "trace sequence hash: %016llx\n",
+        tracer.size(), (unsigned long long)tracer.total_recorded(),
+        (unsigned long long)tracer.overwritten(), trace_path.c_str(),
+        (unsigned long long)tracer.SequenceHash());
+  }
+  if (want_metrics) {
+    FILE* out = std::fopen(metrics_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "--metrics: cannot open %s for writing\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    metrics.Snap().WriteJson(out);
+    std::fclose(out);
+    std::printf("metrics: %zu series -> %s\n", metrics.Snap().metrics.size(),
+                metrics_path.c_str());
+  }
   return 0;
 }

@@ -3,6 +3,8 @@
 #
 #   tools/run_tier1.sh              # RelWithDebInfo into build/
 #   ASAN=1 tools/run_tier1.sh       # ASan+UBSan into build-asan/
+#   BENCH=1 tools/run_tier1.sh      # also run every bench and validate
+#                                   # its BENCH_<name>.json report
 #
 # Extra arguments are forwarded to ctest, e.g.:
 #   tools/run_tier1.sh -L unit      # fast pre-commit loop
@@ -22,3 +24,26 @@ fi
 cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=RelWithDebInfo "${extra[@]}"
 cmake --build "$build" -j "$jobs"
 ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"
+
+if [[ "${BENCH:-0}" == "1" ]]; then
+  # Run every bench binary and check that each emits a machine-readable
+  # BENCH_<name>.json report that a strict parser accepts.
+  json_dir="$build/bench-json"
+  rm -rf "$json_dir" && mkdir -p "$json_dir"
+  for exe in "$build"/bench/bench_*; do
+    [[ -f "$exe" && -x "$exe" ]] || continue
+    echo "== bench: $(basename "$exe")"
+    BENCH_JSON_DIR="$json_dir" "$exe"
+  done
+  shopt -s nullglob
+  reports=("$json_dir"/BENCH_*.json)
+  if [[ ${#reports[@]} -eq 0 ]]; then
+    echo "BENCH=1: no BENCH_*.json reports produced" >&2
+    exit 1
+  fi
+  for report in "${reports[@]}"; do
+    python3 -m json.tool "$report" > /dev/null
+    echo "ok: $(basename "$report")"
+  done
+  echo "BENCH=1: ${#reports[@]} bench reports validated in $json_dir"
+fi
