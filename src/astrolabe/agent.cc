@@ -13,6 +13,7 @@ namespace {
 
 constexpr const char* kGossipType = "astro.gossip";
 constexpr const char* kGossipReplyType = "astro.gossip_reply";
+constexpr const char* kGossipFinalType = "astro.gossip_final";
 
 bool RowsEqual(const Row& a, const Row& b) {
   if (a.size() != b.size()) return false;
@@ -26,6 +27,22 @@ bool RowsEqual(const Row& a, const Row& b) {
 
 }  // namespace
 
+const char* GossipWireModeName(GossipWireMode mode) noexcept {
+  switch (mode) {
+    case GossipWireMode::kFull:
+      return "full";
+    case GossipWireMode::kDelta:
+      return "delta";
+  }
+  return "?";
+}
+
+std::optional<GossipWireMode> GossipWireModeFromName(std::string_view name) {
+  if (name == "full") return GossipWireMode::kFull;
+  if (name == "delta") return GossipWireMode::kDelta;
+  return std::nullopt;
+}
+
 std::string DefaultCoreFunctionCode(std::int64_t contacts_per_zone) {
   // Elect the least-loaded representatives (paper §5: selection "combines
   // the local knowledge of availability ... the load on those paths and the
@@ -35,11 +52,40 @@ std::string DefaultCoreFunctionCode(std::int64_t contacts_per_zone) {
          "SUM(nmembers) AS nmembers, AVG(load) AS load";
 }
 
-std::size_t Agent::GossipPayload::WireBytes() const {
-  std::size_t n = zone.size() + 8;
-  for (const auto& snap : tables) n += snap.table->WireBytes();
-  for (const auto& cert : certs) n += cert.WireBytes();
+std::size_t Agent::GossipPayload::DigestBytes() const {
+  std::size_t n = 8 * cert_ids.size();
+  for (const auto& part : digests) {
+    n += part.zone.size() + 2 + DigestWireBytes(part.rows);
+  }
   return n;
+}
+
+std::size_t Agent::GossipPayload::DeltaBytes() const {
+  std::size_t n = 0;
+  for (const auto& part : deltas) {
+    n += part.zone.size() + 10;
+    for (const auto& [key, entry] : part.rows) {
+      n += key.size() + 10 + RowWireBytes(entry.attrs);
+    }
+    for (const auto& refresh : part.refreshes) n += RefreshWireBytes(refresh);
+  }
+  if (tables.empty()) {  // delta-mode message: cert bodies ride the delta
+    for (const auto& cert : certs) n += cert.WireBytes();
+  }
+  return n;
+}
+
+std::size_t Agent::GossipPayload::FullBytes() const {
+  std::size_t n = 0;
+  for (const auto& snap : tables) n += snap.table->WireBytes();
+  if (!tables.empty()) {
+    for (const auto& cert : certs) n += cert.WireBytes();
+  }
+  return n;
+}
+
+std::size_t Agent::GossipPayload::WireBytes() const {
+  return zone.size() + 8 + DigestBytes() + DeltaBytes() + FullBytes();
 }
 
 obs::MetricsRegistry* Agent::Metrics() {
@@ -53,6 +99,12 @@ obs::MetricsRegistry* Agent::Metrics() {
     obs_.recomputes = m->Counter("astro.agent.aggregate_recomputes");
     obs_.cert_rejects = m->Counter("astro.agent.certs_rejected");
     obs_.elections = m->Counter("astro.agent.representative_changes");
+    obs_.digest_bytes = m->Counter("astrolabe.gossip.digest_bytes");
+    obs_.delta_bytes = m->Counter("astrolabe.gossip.delta_bytes");
+    obs_.full_bytes = m->Counter("astrolabe.gossip.full_bytes");
+    obs_.rows_sent = m->Counter("astrolabe.gossip.rows_sent");
+    obs_.rows_suppressed = m->Counter("astrolabe.gossip.rows_suppressed");
+    obs_.certs_sent = m->Counter("astrolabe.gossip.certs_sent");
     obs_.init = true;
   }
   return m;
@@ -114,6 +166,9 @@ void Agent::Start() {
 void Agent::OnRestart() {
   // Volatile replicas are lost with the process; re-join from seeds.
   for (auto& t : tables_) t = std::make_shared<Table>();
+  peer_known_certs_.clear();  // also process memory
+  leaf_round_ = 0;
+  leaf_cursor_ = 0;
   rep_mask_ = kNoRepMask;  // representation re-baselines with the new state
   if (started_) {
     RefreshOwnRow();
@@ -253,11 +308,15 @@ void Agent::WarmStartTable(std::size_t level, std::shared_ptr<Table> table) {
 
 void Agent::OnMessage(const sim::Message& msg) {
   if (msg.type == kGossipType) {
-    HandleGossip(msg, /*reply=*/false);
+    HandleGossipInit(msg);
     return;
   }
   if (msg.type == kGossipReplyType) {
-    HandleGossip(msg, /*reply=*/true);
+    HandleGossipReply(msg);
+    return;
+  }
+  if (msg.type == kGossipFinalType) {
+    HandleGossipFinal(msg);
     return;
   }
   auto it = handlers_.find(msg.type);
@@ -301,8 +360,13 @@ void Agent::RefreshOwnRow() {
   const double now = alive() ? Now() : 0.0;
   Table& leaf_table = MutableTableAt(Depth() - 1);
   RowEntry& entry = leaf_table.Upsert(config_.path.Leaf());
+  // Every round re-versions the row (the version doubles as the liveness
+  // heartbeat), but content_version only moves when the attributes really
+  // change — that is what lets peers ship heartbeat-only refreshes.
+  const bool changed = entry.version == 0 || !RowsEqual(entry.attrs, mib_);
   entry.attrs = mib_;
   entry.version = NextVersion();
+  if (changed) entry.content_version = entry.version;
   entry.last_refresh = now;
 }
 
@@ -324,6 +388,9 @@ void Agent::RecomputeAggregates() {
     RowEntry& entry = parent.Upsert(key);
     entry.attrs = std::move(agg);
     entry.version = NextVersion();
+    // A stale-only reissue is a pure heartbeat; content_version moves only
+    // when the aggregate genuinely changed.
+    if (changed) entry.content_version = entry.version;
     entry.last_refresh = now;
   }
 }
@@ -390,31 +457,48 @@ void Agent::DoGossipAt(std::size_t level) {
       }
     }
   }
-  // Seed peers stay in the leaf-level mix permanently: if they were only a
-  // bootstrap fallback, two view-closed groups of agents could gossip among
-  // themselves forever and never merge their membership views.
+  sim::NodeId partner = sim::kInvalidNode;
   if (level + 1 == Depth()) {
-    for (sim::NodeId s : seeds_) {
-      if (s != id()) candidates.push_back(s);
+    // Leaf zones are the failure-detection domain: a sibling's row that goes
+    // `fail_timeout_rounds` without a fresher version is evicted and the
+    // membership count dips until it is re-learned. Random partner choice
+    // over siblings *and* cross-zone introducers leaves an unbounded tail on
+    // that staleness, so rotate deterministically through the siblings —
+    // direct anti-entropy with each one at least every |zone| rounds keeps
+    // live rows clear of the timeout. Every fourth round goes to the seed
+    // mix instead: introducers must stay in the rotation permanently or two
+    // view-closed groups could gossip among themselves forever and never
+    // merge their membership views.
+    const bool seed_round = (leaf_round_++ % 4 == 3);
+    if (seed_round || candidates.empty()) {
+      for (sim::NodeId s : seeds_) {
+        if (s != id()) candidates.push_back(s);
+      }
+      if (candidates.empty()) return;
+      partner = candidates[Rng().NextBelow(candidates.size())];
+    } else {
+      partner = candidates[leaf_cursor_++ % candidates.size()];
     }
+  } else {
+    if (candidates.empty()) return;
+    partner = candidates[Rng().NextBelow(candidates.size())];
   }
-  if (candidates.empty()) return;
-  const sim::NodeId partner = candidates[Rng().NextBelow(candidates.size())];
-  GossipPayload payload = BuildPayload(level, /*reply=*/false);
-  const std::size_t wire = payload.WireBytes();
   ++stats_.exchanges_sent;
   if (auto* m = Metrics()) m->Add(obs_.exchanges, id());
   if (auto* t = Tracer(); t != nullptr && t->Enabled(obs::EventCategory::kGossip)) {
     t->Record(Now(), id(), obs::EventCategory::kGossip, "gossip.exchange",
               partner, level);
   }
-  Send(sim::Message::Make(id(), partner, kGossipType, std::move(payload), wire));
+  GossipPayload payload = config_.wire_mode == GossipWireMode::kFull
+                              ? BuildFullPayload(level)
+                              : BuildDigestPayload(level);
+  AttachCerts(payload, partner);
+  SendGossip(partner, kGossipType, std::move(payload));
 }
 
-Agent::GossipPayload Agent::BuildPayload(std::size_t level, bool reply) const {
+Agent::GossipPayload Agent::BuildFullPayload(std::size_t level) const {
   GossipPayload payload;
   payload.zone = config_.path.Prefix(level).ToString();
-  payload.reply = reply;
   // Exchange every table on the common path (root .. level): this is how
   // aggregated state flows back down to the leaves.
   for (std::size_t j = 0; j <= level; ++j) {
@@ -422,77 +506,259 @@ Agent::GossipPayload Agent::BuildPayload(std::size_t level, bool reply) const {
         config_.path.Prefix(j).ToString(),
         std::make_shared<const Table>(*tables_[j])});
   }
-  payload.certs = zone_authorities_;
-  for (const auto& [name, fn] : functions_) payload.certs.push_back(fn.cert);
   return payload;
 }
 
-void Agent::HandleGossip(const sim::Message& msg, bool reply) {
+Agent::GossipPayload Agent::BuildDigestPayload(std::size_t level) const {
+  GossipPayload payload;
+  payload.zone = config_.path.Prefix(level).ToString();
+  for (std::size_t j = 0; j <= level; ++j) {
+    payload.digests.push_back(TableDigestPart{
+        config_.path.Prefix(j).ToString(), tables_[j]->MakeDigest()});
+  }
+  return payload;
+}
+
+Agent::GossipPayload Agent::BuildDeltaPayload(const GossipPayload& request,
+                                              std::size_t level,
+                                              bool attach_digests) {
+  GossipPayload payload;
+  payload.zone = config_.path.Prefix(level).ToString();
+  for (const auto& part : request.digests) {
+    const ZonePath zone = ZonePath::Parse(part.zone);
+    const std::size_t j = zone.Depth();
+    if (j > level) continue;
+    if (!(config_.path.Prefix(j) == zone)) continue;  // not on our path
+    // The reply leg answers a full inventory digest (anything the digest
+    // does not mention, the initiator lacks outright); the final leg
+    // answers an explicit request list (anything it does not mention, the
+    // replier is already current on).
+    auto delta = attach_digests ? tables_[j]->DeltaAgainst(part.rows)
+                                : tables_[j]->DeltaForRequests(part.rows);
+    // Suppressed = rows whose body stayed home: version ties plus the rows
+    // reduced to heartbeat-only refreshes.
+    stats_.rows_suppressed += tables_[j]->size() - delta.rows.size();
+    if (!delta.rows.empty() || !delta.refreshes.empty()) {
+      payload.deltas.push_back(TableDeltaPart{
+          part.zone, std::move(delta.rows), std::move(delta.refreshes)});
+    }
+    if (attach_digests) {
+      // What we still need pushed back, not our whole inventory — absence
+      // of a key tells the initiator we are current on it.
+      TableDigest requests = tables_[j]->RequestsAgainst(part.rows);
+      if (!requests.empty()) {
+        payload.digests.push_back(
+            TableDigestPart{part.zone, std::move(requests)});
+      }
+    }
+  }
+  return payload;
+}
+
+void Agent::AttachCerts(GossipPayload& payload, sim::NodeId peer) {
+  std::set<std::uint64_t>& known = peer_known_certs_[peer];
+  auto offer = [&](const Certificate& cert) {
+    const std::uint64_t cert_id = cert.Digest();
+    payload.cert_ids.push_back(cert_id);
+    // Ship the body only if the peer's last advertised inventory lacks it;
+    // optimistically mark it held so the round trip does not echo it back.
+    if (known.insert(cert_id).second) payload.certs.push_back(cert);
+  };
+  for (const auto& cert : zone_authorities_) offer(cert);
+  for (const auto& [name, fn] : functions_) offer(fn.cert);
+}
+
+void Agent::NoteCertInventory(sim::NodeId peer,
+                              const std::vector<std::uint64_t>& ids) {
+  // The advertised inventory is authoritative: it revokes optimistic marks
+  // whose cert body was lost in flight, so the body is re-sent.
+  peer_known_certs_[peer] = std::set<std::uint64_t>(ids.begin(), ids.end());
+}
+
+void Agent::SendGossip(sim::NodeId to, const char* type,
+                       GossipPayload payload) {
+  const std::size_t digest_bytes = payload.DigestBytes();
+  const std::size_t delta_bytes = payload.DeltaBytes();
+  const std::size_t full_bytes = payload.FullBytes();
+  std::uint64_t rows = 0;
+  for (const auto& part : payload.deltas) rows += part.rows.size();
+  for (const auto& snap : payload.tables) rows += snap.table->size();
+  stats_.digest_bytes += digest_bytes;
+  stats_.delta_bytes += delta_bytes;
+  stats_.full_bytes += full_bytes;
+  stats_.rows_sent += rows;
+  stats_.certs_sent += payload.certs.size();
+  if (auto* m = Metrics()) {
+    if (digest_bytes > 0) m->Add(obs_.digest_bytes, id(), digest_bytes);
+    if (delta_bytes > 0) m->Add(obs_.delta_bytes, id(), delta_bytes);
+    if (full_bytes > 0) m->Add(obs_.full_bytes, id(), full_bytes);
+    if (rows > 0) m->Add(obs_.rows_sent, id(), rows);
+    if (!payload.certs.empty()) {
+      m->Add(obs_.certs_sent, id(), payload.certs.size());
+    }
+  }
+  if (auto* t = Tracer(); t != nullptr && t->Enabled(obs::EventCategory::kGossip)) {
+    if (!payload.digests.empty()) {
+      t->Record(Now(), id(), obs::EventCategory::kGossip, "gossip.digest", to,
+                digest_bytes);
+    }
+    if (!payload.deltas.empty()) {
+      t->Record(Now(), id(), obs::EventCategory::kGossip, "gossip.delta", to,
+                rows);
+    }
+  }
+  const std::size_t wire = payload.WireBytes();
+  Send(sim::Message::Make(id(), to, type, std::move(payload), wire));
+}
+
+std::size_t Agent::CommonLevelWith(const std::string& peer_zone_text) const {
+  std::size_t common = 0;
+  const ZonePath peer_zone = ZonePath::Parse(peer_zone_text);
+  const std::size_t max_level = std::min(peer_zone.Depth(), Depth() - 1);
+  for (std::size_t j = 1; j <= max_level; ++j) {
+    if (peer_zone.Prefix(j) == config_.path.Prefix(j)) {
+      common = j;
+    } else {
+      break;
+    }
+  }
+  return common;
+}
+
+void Agent::HandleGossipInit(const sim::Message& msg) {
   const auto& payload = msg.As<GossipPayload>();
+  NoteCertInventory(msg.from, payload.cert_ids);
   MergeCerts(payload.certs);
-  const std::uint64_t merged_before = stats_.rows_merged;
+  const std::size_t reply_level = CommonLevelWith(payload.zone);
+  if (!payload.digests.empty()) {
+    // Digest-first initiation (wire v2): answer with the rows the digest
+    // proves the initiator is missing, plus our own digests so its final
+    // push can complete the reconciliation.
+    GossipPayload out =
+        BuildDeltaPayload(payload, reply_level, /*attach_digests=*/true);
+    AttachCerts(out, msg.from);
+    SendGossip(msg.from, kGossipReplyType, std::move(out));
+    return;
+  }
+  // Full-snapshot initiation (wire v1): merge, then answer with our view of
+  // the deepest common table (push-pull).
   MergeTables(payload);
+  RecomputeAggregates();
+  GossipPayload out = BuildFullPayload(reply_level);
+  AttachCerts(out, msg.from);
+  SendGossip(msg.from, kGossipReplyType, std::move(out));
+}
+
+void Agent::HandleGossipReply(const sim::Message& msg) {
+  const auto& payload = msg.As<GossipPayload>();
+  NoteCertInventory(msg.from, payload.cert_ids);
+  MergeCerts(payload.certs);
+  if (payload.digests.empty() && payload.deltas.empty()) {
+    // Full-snapshot reply: merge and the exchange is complete.
+    MergeTables(payload);
+    RecomputeAggregates();
+    return;
+  }
+  // Delta reply: merge the peer's newer rows first so the final push only
+  // carries rows the peer genuinely lacks (post-merge ties are suppressed).
+  MergeDeltas(payload);
+  RecomputeAggregates();
+  const std::size_t level = CommonLevelWith(payload.zone);
+  GossipPayload out =
+      BuildDeltaPayload(payload, level, /*attach_digests=*/false);
+  AttachCerts(out, msg.from);
+  if (out.deltas.empty() && out.certs.empty()) return;  // nothing to push
+  SendGossip(msg.from, kGossipFinalType, std::move(out));
+}
+
+void Agent::HandleGossipFinal(const sim::Message& msg) {
+  const auto& payload = msg.As<GossipPayload>();
+  NoteCertInventory(msg.from, payload.cert_ids);
+  MergeCerts(payload.certs);
+  MergeDeltas(payload);
+  RecomputeAggregates();
+}
+
+template <typename Rows>
+void Agent::MergeRows(const std::string& zone_text, const Rows& rows) {
+  const double now = Now();
+  const ZonePath zone = ZonePath::Parse(zone_text);
+  const std::size_t level = zone.Depth();
+  if (level >= Depth()) return;
+  if (!(config_.path.Prefix(level) == zone)) return;  // not on our path
+  // Probe before COW: skip row sets that change nothing.
+  bool any_newer = false;
+  for (const auto& [key, entry] : rows) {
+    const RowEntry* mine = tables_[level]->Find(key);
+    if (mine == nullptr || entry.version > mine->version) {
+      any_newer = true;
+      break;
+    }
+  }
+  if (!any_newer) return;
+  Table& local = MutableTableAt(level);
+  const double stale_cutoff =
+      now - config_.gossip_period * config_.fail_timeout_rounds;
+  const std::uint64_t merged_before = stats_.rows_merged;
+  for (const auto& [key, entry] : rows) {
+    if (level + 1 == Depth() && key == config_.path.Leaf()) {
+      continue;  // we alone author our MIB row
+    }
+    // Deletion stability: a row we evicted (or never had) must not be
+    // resurrected by a peer that still carries a stale copy. The issue
+    // time embedded in the version tells us whether the owner is still
+    // refreshing it.
+    if (!local.Has(key) && VersionTime(entry.version) < stale_cutoff) {
+      continue;
+    }
+    if (local.MergeEntry(key, entry, now)) ++stats_.rows_merged;
+  }
   const std::uint64_t merged = stats_.rows_merged - merged_before;
   if (merged > 0) {
     if (auto* m = Metrics()) m->Add(obs_.rows_merged, id(), merged);
     if (auto* t = Tracer(); t != nullptr && t->Enabled(obs::EventCategory::kMerge)) {
       t->Record(Now(), id(), obs::EventCategory::kMerge, "gossip.merge",
-                merged, msg.from);
+                merged, level);
     }
-  }
-  RecomputeAggregates();
-  if (!reply) {
-    // Push-pull: answer with our view of the deepest common table.
-    std::size_t reply_level = 0;
-    const ZonePath peer_zone = ZonePath::Parse(payload.zone);
-    const std::size_t max_level = std::min(peer_zone.Depth(), Depth() - 1);
-    for (std::size_t j = 1; j <= max_level; ++j) {
-      if (peer_zone.Prefix(j) == config_.path.Prefix(j)) {
-        reply_level = j;
-      } else {
-        break;
-      }
-    }
-    GossipPayload out = BuildPayload(reply_level, /*reply=*/true);
-    const std::size_t wire = out.WireBytes();
-    Send(sim::Message::Make(id(), msg.from, kGossipReplyType, std::move(out),
-                            wire));
   }
 }
 
 void Agent::MergeTables(const GossipPayload& payload) {
+  for (const auto& snap : payload.tables) MergeRows(snap.zone, *snap.table);
+}
+
+void Agent::MergeDeltas(const GossipPayload& payload) {
+  for (const auto& part : payload.deltas) {
+    MergeRows(part.zone, part.rows);
+    MergeRefreshes(part.zone, part.refreshes);
+  }
+}
+
+void Agent::MergeRefreshes(const std::string& zone_text,
+                           const std::vector<RowRefresh>& refreshes) {
+  if (refreshes.empty()) return;
+  const ZonePath zone = ZonePath::Parse(zone_text);
+  const std::size_t level = zone.Depth();
+  if (level >= Depth()) return;
+  if (!(config_.path.Prefix(level) == zone)) return;  // not on our path
   const double now = Now();
-  for (const auto& snap : payload.tables) {
-    const ZonePath zone = ZonePath::Parse(snap.zone);
-    const std::size_t level = zone.Depth();
-    if (level >= Depth()) continue;
-    if (!(config_.path.Prefix(level) == zone)) continue;  // not on our path
-    // Probe before COW: skip snapshots that change nothing.
-    bool any_newer = false;
-    for (const auto& [key, entry] : *snap.table) {
-      const RowEntry* mine = tables_[level]->Find(key);
-      if (mine == nullptr || entry.version > mine->version) {
-        any_newer = true;
-        break;
-      }
+  // Probe before COW: skip refresh sets that change nothing.
+  bool any_newer = false;
+  for (const auto& refresh : refreshes) {
+    const RowEntry* mine = tables_[level]->Find(refresh.key);
+    if (mine != nullptr && refresh.version > mine->version &&
+        mine->content_version == refresh.content_version) {
+      any_newer = true;
+      break;
     }
-    if (!any_newer) continue;
-    Table& local = MutableTableAt(level);
-    const double stale_cutoff =
-        now - config_.gossip_period * config_.fail_timeout_rounds;
-    for (const auto& [key, entry] : *snap.table) {
-      if (level + 1 == Depth() && key == config_.path.Leaf()) {
-        continue;  // we alone author our MIB row
-      }
-      // Deletion stability: a row we evicted (or never had) must not be
-      // resurrected by a peer that still carries a stale copy. The issue
-      // time embedded in the version tells us whether the owner is still
-      // refreshing it.
-      if (!local.Has(key) && VersionTime(entry.version) < stale_cutoff) {
-        continue;
-      }
-      if (local.MergeEntry(key, entry, now)) ++stats_.rows_merged;
+  }
+  if (!any_newer) return;
+  Table& local = MutableTableAt(level);
+  for (const auto& refresh : refreshes) {
+    if (level + 1 == Depth() && refresh.key == config_.path.Leaf()) {
+      continue;  // we alone author our MIB row
     }
+    local.MergeRefresh(refresh, now);
   }
 }
 

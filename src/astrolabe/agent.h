@@ -14,7 +14,10 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "astrolabe/cert.h"
@@ -25,12 +28,27 @@
 
 namespace nw::astrolabe {
 
+// Gossip wire format (PROTOCOLS.md "Gossip wire format v2"):
+//  * kFull  — v1: every exchange ships full zone-table snapshots plus the
+//    whole certificate set; wire bytes grow with zone size.
+//  * kDelta — v2 (default): a digest-first three-leg reconciliation; only
+//    rows whose owner version differs cross the wire, so steady-state
+//    bytes grow with churn instead of zone size.
+// Both modes converge replicas to the identical state (enforced by
+// tests/gossip_equivalence_test.cc).
+enum class GossipWireMode { kFull, kDelta };
+
+const char* GossipWireModeName(GossipWireMode mode) noexcept;
+// "full" / "delta" -> mode; nullopt on anything else.
+std::optional<GossipWireMode> GossipWireModeFromName(std::string_view name);
+
 struct AgentConfig {
   ZonePath path;                  // full leaf path, depth >= 1
   double gossip_period = 2.0;     // seconds between rounds
   double fail_timeout_rounds = 6; // row expiry, in units of gossip_period
   std::int64_t contacts_per_zone = 3;  // representatives per zone (paper §5)
   PublicKey trust_root = 0;       // anchor for certificate validation
+  GossipWireMode wire_mode = GossipWireMode::kDelta;
 };
 
 // Well-known attribute names maintained by the agent itself.
@@ -127,6 +145,15 @@ class Agent : public sim::Node {
     std::uint64_t rows_merged = 0;
     std::uint64_t rows_expired = 0;
     std::uint64_t certs_rejected = 0;
+    // Wire-format accounting (see GossipWireMode): rows shipped vs rows the
+    // digest proved the peer already had, cert bodies actually sent, and
+    // payload bytes split by kind.
+    std::uint64_t rows_sent = 0;
+    std::uint64_t rows_suppressed = 0;
+    std::uint64_t certs_sent = 0;
+    std::uint64_t digest_bytes = 0;
+    std::uint64_t delta_bytes = 0;
+    std::uint64_t full_bytes = 0;
   };
   const GossipStats& gossip_stats() const { return stats_; }
 
@@ -144,11 +171,34 @@ class Agent : public sim::Node {
     std::string zone;  // path of the zone this table belongs to
     std::shared_ptr<const Table> table;
   };
+  struct TableDigestPart {
+    std::string zone;
+    // Init leg: the sender's full inventory (key -> versions). Reply leg:
+    // the replier's request list — only rows it needs pushed back.
+    TableDigest rows;
+  };
+  struct TableDeltaPart {
+    std::string zone;
+    std::vector<std::pair<std::string, RowEntry>> rows;  // content the peer lacks
+    std::vector<RowRefresh> refreshes;  // heartbeat-only version advances
+    bool empty() const { return rows.empty() && refreshes.empty(); }
+  };
+  // One gossip message. The exchange stage is carried by the message type
+  // (astro.gossip / astro.gossip_reply / astro.gossip_final); the wire mode
+  // is implied by which fields are populated: full snapshots (v1) or
+  // digests/deltas (v2). Cert bodies are deduplicated against the per-peer
+  // inventory in both modes; `cert_ids` always advertises the sender's full
+  // certificate inventory so the receiver learns what not to send back.
   struct GossipPayload {
     std::string zone;  // path of the zone whose table level anchors this
-    bool reply = false;
-    std::vector<TableSnapshot> tables;
-    std::vector<Certificate> certs;  // zone authorities + functions
+    std::vector<TableSnapshot> tables;        // full mode
+    std::vector<TableDigestPart> digests;     // delta mode: init + reply
+    std::vector<TableDeltaPart> deltas;       // delta mode: reply + final
+    std::vector<std::uint64_t> cert_ids;      // sender's cert inventory
+    std::vector<Certificate> certs;           // bodies the peer lacks
+    std::size_t DigestBytes() const;  // digest parts + cert-id inventory
+    std::size_t DeltaBytes() const;   // delta rows (+ cert bodies, delta mode)
+    std::size_t FullBytes() const;    // snapshots (+ cert bodies, full mode)
     std::size_t WireBytes() const;
   };
 
@@ -157,10 +207,36 @@ class Agent : public sim::Node {
   void RecomputeAggregates();
   void ExpireRows();
   void DoGossipAt(std::size_t level);
-  void HandleGossip(const sim::Message& msg, bool reply);
+  void HandleGossipInit(const sim::Message& msg);
+  void HandleGossipReply(const sim::Message& msg);
+  void HandleGossipFinal(const sim::Message& msg);
+  // Deepest level whose zone path is shared with `peer_zone`.
+  std::size_t CommonLevelWith(const std::string& peer_zone) const;
   void MergeTables(const GossipPayload& payload);
+  void MergeDeltas(const GossipPayload& payload);
+  // Shared merge core: one remote row set for the table of `zone`.
+  template <typename Rows>
+  void MergeRows(const std::string& zone_text, const Rows& rows);
+  // Heartbeat-only version advances for rows whose content we already hold.
+  void MergeRefreshes(const std::string& zone_text,
+                      const std::vector<RowRefresh>& refreshes);
   void MergeCerts(const std::vector<Certificate>& certs);
-  GossipPayload BuildPayload(std::size_t level, bool reply) const;
+  GossipPayload BuildFullPayload(std::size_t level) const;
+  GossipPayload BuildDigestPayload(std::size_t level) const;
+  // Delta rows of every local table (0..level) against the peer's digests;
+  // `attach_digests` adds our own digests so the peer can push back what we
+  // are missing (the reply leg of the three-leg reconciliation).
+  GossipPayload BuildDeltaPayload(const GossipPayload& request,
+                                  std::size_t level, bool attach_digests);
+  // Cert dedup: advertise the full inventory, ship only bodies the peer is
+  // not known to hold, and optimistically mark them as held (the peer's
+  // next advertised inventory corrects us if the message was lost).
+  void AttachCerts(GossipPayload& payload, sim::NodeId peer);
+  void NoteCertInventory(sim::NodeId peer,
+                         const std::vector<std::uint64_t>& ids);
+  // Sends one gossip message and attributes its bytes/rows to the stats and
+  // the astrolabe.gossip.* metrics.
+  void SendGossip(sim::NodeId to, const char* type, GossipPayload payload);
   std::uint64_t NextVersion();
 
   // Copy-on-write access to a table replica.
@@ -177,6 +253,8 @@ class Agent : public sim::Node {
     bool init = false;
     std::uint32_t rounds, exchanges, rows_merged, rows_expired, recomputes,
         cert_rejects, elections;
+    std::uint32_t digest_bytes, delta_bytes, full_bytes, rows_sent,
+        rows_suppressed, certs_sent;
   };
   static constexpr std::uint32_t kNoRepMask = 0xffffffffu;
 
@@ -188,7 +266,15 @@ class Agent : public sim::Node {
   std::map<std::string, Handler> handlers_;
   std::vector<std::function<void()>> restart_hooks_;
   std::vector<sim::NodeId> seeds_;
+  // Cert ids (Certificate::Digest()) each peer is believed to hold, rebuilt
+  // from the inventory every gossip message advertises. Volatile (cleared
+  // on restart): worst case a cert body is re-sent once.
+  std::map<sim::NodeId, std::set<std::uint64_t>> peer_known_certs_;
   std::uint64_t version_counter_ = 0;
+  // Leaf-level partner schedule: rounds since restart and the rotation
+  // cursor over leaf siblings (see DoGossipAt).
+  std::uint64_t leaf_round_ = 0;
+  std::uint64_t leaf_cursor_ = 0;
   bool started_ = false;
   GossipStats stats_;
   ObsIds obs_{};

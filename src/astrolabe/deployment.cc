@@ -72,6 +72,7 @@ Deployment::Deployment(DeploymentConfig config)
     ac.gossip_period = config_.gossip_period;
     ac.fail_timeout_rounds = config_.fail_timeout_rounds;
     ac.contacts_per_zone = config_.contacts_per_zone;
+    ac.wire_mode = config_.gossip_wire;
     ac.trust_root = root_authority_.public_key();
     agents_.push_back(std::make_unique<Agent>(std::move(ac)));
     net_.AddNode(agents_.back().get());
@@ -152,6 +153,7 @@ void Deployment::WarmStart() {
     }
     if (!row.attrs.contains(kAttrLoad)) row.attrs[kAttrLoad] = 0.0;
     row.version = 1;
+    row.content_version = 1;
     row.last_refresh = now;
   }
 
@@ -169,6 +171,7 @@ void Deployment::WarmStart() {
       RowEntry& row = it->second->Upsert(zone.Leaf());
       row.attrs = reference.AggregateOf(*tables.at(zone.ToString()));
       row.version = 1;
+      row.content_version = 1;
       row.last_refresh = now;
     }
   }

@@ -26,6 +26,7 @@ struct DeploymentConfig {
   double gossip_period = 2.0;
   double fail_timeout_rounds = 6;
   std::int64_t contacts_per_zone = 3;
+  GossipWireMode gossip_wire = GossipWireMode::kDelta;
   std::size_t seed_peers = 3;  // bootstrap contacts per agent
   sim::NetworkConfig net;
   std::uint64_t seed = 1;

@@ -13,6 +13,7 @@ astrolabe::DeploymentConfig MakeDeploymentConfig(const SystemConfig& cfg) {
   dc.top_level_names = cfg.region_names;
   dc.gossip_period = cfg.gossip_period;
   dc.contacts_per_zone = cfg.contacts_per_zone;
+  dc.gossip_wire = cfg.gossip_wire;
   dc.net = cfg.net;
   dc.seed = cfg.seed;
   dc.metrics = cfg.metrics;

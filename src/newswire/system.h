@@ -28,6 +28,7 @@ struct SystemConfig {
   std::vector<std::string> region_names;
   double gossip_period = 2.0;
   std::int64_t contacts_per_zone = 3;
+  astrolabe::GossipWireMode gossip_wire = astrolabe::GossipWireMode::kDelta;
   sim::NetworkConfig net;
   pubsub::BloomConfig bloom;
   bool hierarchical_subjects = false;  // §7: "tech" also matches "tech.*"

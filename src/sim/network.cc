@@ -50,6 +50,9 @@ void Network::Send(Message msg) {
   const std::size_t wire = msg.wire_bytes + config_.per_message_overhead;
   stats_[from].messages_sent += 1;
   stats_[from].bytes_sent += wire;
+  TypeStats& ts = by_type_[msg.type];
+  ts.messages += 1;
+  ts.bytes += wire;
   if (metrics_ != nullptr) {
     metrics_->Add(ids_.sent, from);
     metrics_->Add(ids_.bytes_sent, from, wire);
@@ -170,6 +173,18 @@ TrafficStats Network::TotalStats() const {
 
 void Network::ResetStats() {
   std::fill(stats_.begin(), stats_.end(), TrafficStats{});
+  by_type_.clear();
+}
+
+Network::TypeStats Network::StatsForTypePrefix(const std::string& prefix) const {
+  TypeStats total;
+  for (const auto& [type, ts] : by_type_) {
+    if (type.compare(0, prefix.size(), prefix) == 0) {
+      total.messages += ts.messages;
+      total.bytes += ts.bytes;
+    }
+  }
+  return total;
 }
 
 }  // namespace nw::sim

@@ -6,7 +6,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -78,6 +80,19 @@ class Network {
   TrafficStats TotalStats() const;
   void ResetStats();
 
+  // Per-message-type accounting, charged at Send time (headers included):
+  // lets protocol layers be costed independently, e.g. the gossip wire
+  // bytes of "astro.gossip*" vs the article traffic of "mc.fwd".
+  struct TypeStats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  const std::map<std::string, TypeStats>& StatsByType() const noexcept {
+    return by_type_;
+  }
+  // Sum over every type whose name starts with `prefix`.
+  TypeStats StatsForTypePrefix(const std::string& prefix) const;
+
   Simulator& simulator() noexcept { return sim_; }
   const NetworkConfig& config() const noexcept { return config_; }
 
@@ -99,6 +114,7 @@ class Network {
   std::vector<double> uplink_rate_;  // bytes/sec, default config value
   std::vector<Time> uplink_free_at_;
   std::vector<TrafficStats> stats_;
+  std::map<std::string, TypeStats> by_type_;
 
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::EventTracer* tracer_ = nullptr;

@@ -236,4 +236,23 @@ InvariantReport CheckReplayIdentical(const std::vector<DeliveryRecord>& a,
   return report;
 }
 
+std::uint64_t MibContentHash(astrolabe::Deployment& dep) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) { h = util::HashCombine(h, v); };
+  for (std::size_t i = 0; i < dep.size(); ++i) {
+    const astrolabe::Agent& agent = dep.agent(i);
+    mix(util::Fnv1a64(agent.path().ToString()));
+    for (std::size_t level = 0; level < agent.Depth(); ++level) {
+      for (const auto& [key, entry] : agent.TableAt(level)) {
+        mix(util::Fnv1a64(key));
+        for (const auto& [name, value] : entry.attrs) {
+          mix(util::Fnv1a64(name));
+          mix(util::Fnv1a64(value.ToString()));
+        }
+      }
+    }
+  }
+  return h;
+}
+
 }  // namespace nw::testing

@@ -121,4 +121,12 @@ InvariantReport CheckSubscriptionSoundness(newswire::NewswireSystem& sys,
 InvariantReport CheckReplayIdentical(const std::vector<DeliveryRecord>& a,
                                      const std::vector<DeliveryRecord>& b);
 
+// Content-only hash of every agent's replicated state: zone paths, row
+// keys, and attribute names/values at every level — deliberately excluding
+// row versions and refresh times. Two runs that converged to the same
+// knowledge hash identically even when their gossip trajectories (message
+// counts, timing, version numbers) differed; the wire-format equivalence
+// tests compare full- and delta-mode runs through this.
+std::uint64_t MibContentHash(astrolabe::Deployment& dep);
+
 }  // namespace nw::testing

@@ -83,6 +83,41 @@ TEST(AgentCerts, RogueZoneAuthorityNotAdded) {
   EXPECT_FALSE(d.agent(0).AddZoneAuthority(self_signed));
 }
 
+// Regression for the per-round cert re-broadcast fixed with wire format
+// v2: gossip used to attach every installed certificate body to every
+// message, so a 2-node pair re-shipped the same certs forever. With the
+// id-inventory dedup, a cert body crosses a steady-state link exactly once.
+TEST(AgentCerts, CertBodyCrossesATwoNodeLinkExactlyOnce) {
+  DeploymentConfig cfg;
+  cfg.num_agents = 2;
+  cfg.branching = 2;
+  cfg.seed = 9;
+  Deployment d(cfg);
+  d.StartAll();
+  d.RunFor(30);  // bootstrap: core function cert disseminated both ways
+
+  auto bodies_sent = [&d] {
+    return d.agent(0).gossip_stats().certs_sent +
+           d.agent(1).gossip_stats().certs_sent;
+  };
+  const std::uint64_t steady = bodies_sent();
+  d.RunFor(60);
+  // Steady state: both inventories are mutually known, so sixty more
+  // rounds of gossip move zero certificate bodies.
+  EXPECT_EQ(bodies_sent(), steady);
+
+  // A certificate installed on one side crosses the link exactly once —
+  // the id advertisement suppresses the echo and every re-send.
+  Certificate fresh = d.root_authority().Issue(
+      CertKind::kFunction, "fresh", 0,
+      {{"code", "SELECT COUNT(*) AS fresh_count"}, {"version", "1"}}, 0, 1e18);
+  ASSERT_TRUE(d.agent(0).InstallFunction(fresh));
+  d.RunFor(60);
+  EXPECT_EQ(bodies_sent(), steady + 1);
+  const auto names = d.agent(1).InstalledFunctionNames();
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "fresh") != names.end());
+}
+
 // Randomized tamper detection: flip any field of a valid certificate and
 // the signature must break.
 class TamperProperty : public ::testing::TestWithParam<std::uint64_t> {};

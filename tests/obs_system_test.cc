@@ -8,6 +8,16 @@
 //    subscriber "accepted" counter must agree exactly with the delivery
 //    trace the testing::DeliveryRecorder saw and with the system's own
 //    delivery total — three independently maintained counts of one event.
+//
+// Golden runs are pinned to an explicit gossip wire mode (full or delta):
+// the two formats schedule different message legs, so their traces hash
+// differently by design and each mode carries its own golden. After a
+// deliberate protocol change, regenerate expectations by re-running this
+// binary and reading the printed hashes:
+//   cmake --build build --target obs_system_test && \
+//     ./build/tests/obs_system_test --gtest_filter='ObsGoldenTrace.*'
+// (The goldens are run-to-run equalities, not committed constants, so
+// "regeneration" is just confirming the suite is green again.)
 #include <gtest/gtest.h>
 
 #include <string>
@@ -22,8 +32,11 @@
 namespace nw::newswire {
 namespace {
 
-SystemConfig ScenarioConfig() {
-  // Mirrors the committed 32-node scenario_test.cc deployment.
+SystemConfig ScenarioConfig(
+    astrolabe::GossipWireMode wire = astrolabe::GossipWireMode::kFull) {
+  // Mirrors the committed 32-node scenario_test.cc deployment. The wire
+  // mode is pinned explicitly (default: the v1 full-snapshot format) so
+  // golden hashes do not move when the system-wide default changes.
   SystemConfig cfg;
   cfg.num_subscribers = 31;
   cfg.num_publishers = 1;
@@ -35,6 +48,7 @@ SystemConfig ScenarioConfig() {
   cfg.subscriber.repair_window = 3600.0;
   cfg.gossip_period = 1.0;
   cfg.seed = 20260805;
+  cfg.gossip_wire = wire;
   return cfg;
 }
 
@@ -49,13 +63,15 @@ struct RunOutcome {
   std::uint64_t fault_events = 0;
 };
 
-RunOutcome RunTracedScenario(const char* plan_text) {
+RunOutcome RunTracedScenario(
+    const char* plan_text,
+    astrolabe::GossipWireMode wire = astrolabe::GossipWireMode::kFull) {
   auto plan = sim::FaultPlan::Parse(plan_text);
   EXPECT_TRUE(plan.has_value()) << plan_text;
 
   obs::MetricsRegistry metrics;
   obs::EventTracer tracer(1 << 18);
-  SystemConfig cfg = ScenarioConfig();
+  SystemConfig cfg = ScenarioConfig(wire);
   cfg.metrics = &metrics;
   cfg.tracer = &tracer;
   NewswireSystem sys(cfg);
@@ -111,6 +127,25 @@ TEST(ObsGoldenTrace, DifferentPlansProduceDifferentHashes) {
   const RunOutcome crash = RunTracedScenario(kCrashPlan);
   const RunOutcome flap = RunTracedScenario(kFlapPlan);
   EXPECT_NE(crash.trace_hash, flap.trace_hash);
+}
+
+TEST(ObsGoldenTrace, DeltaWireModeHasItsOwnDeterministicGolden) {
+  // The digest/delta wire format (v2) is a different protocol on the wire
+  // — three legs instead of two — so its golden is separate from the full
+  // mode's, but must be exactly as replayable.
+  const RunOutcome first =
+      RunTracedScenario(kCrashPlan, astrolabe::GossipWireMode::kDelta);
+  const RunOutcome second =
+      RunTracedScenario(kCrashPlan, astrolabe::GossipWireMode::kDelta);
+  EXPECT_GT(first.total_recorded, 1000u);
+  EXPECT_NE(first.trace_hash, 0u);
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  EXPECT_EQ(first.total_recorded, second.total_recorded);
+  const RunOutcome full =
+      RunTracedScenario(kCrashPlan, astrolabe::GossipWireMode::kFull);
+  EXPECT_NE(first.trace_hash, full.trace_hash)
+      << "the two wire formats must not be trace-identical, or the mode "
+         "knob is not reaching the agents";
 }
 
 TEST(ObsMetricsCrossCheck, AcceptedCounterMatchesInvariantTrace) {

@@ -38,6 +38,8 @@ void PrintUsage() {
       "  --publishers P        publishers (default 1)\n"
       "  --branching B         zone fan-out (default 8)\n"
       "  --gossip-period S     epidemic period in seconds (default 2)\n"
+      "  --gossip-wire M       gossip wire format: full | delta (default "
+      "delta)\n"
       "  --loss F              per-message loss probability (default 0)\n"
       "  --duration S          publishing phase length (default 60)\n"
       "  --items-per-sec R     publication rate across publishers (default 1)\n"
@@ -76,6 +78,14 @@ int main(int argc, char** argv) {
   cfg.num_publishers = std::size_t(flags.GetInt("publishers", 1));
   cfg.branching = std::size_t(flags.GetInt("branching", 8));
   cfg.gossip_period = flags.GetDouble("gossip-period", 2.0);
+  const std::string wire_name = flags.GetString("gossip-wire", "delta");
+  if (const auto wire = astrolabe::GossipWireModeFromName(wire_name)) {
+    cfg.gossip_wire = *wire;
+  } else {
+    std::fprintf(stderr, "--gossip-wire: expected full or delta, got \"%s\"\n",
+                 wire_name.c_str());
+    return 2;
+  }
   cfg.net.loss_prob = flags.GetDouble("loss", 0.0);
   cfg.body_bytes = std::size_t(flags.GetInt("body-bytes", 2048));
   cfg.catalog_size = std::size_t(flags.GetInt("catalog", 16));

@@ -8,6 +8,8 @@
 #
 # Extra arguments are forwarded to ctest, e.g.:
 #   tools/run_tier1.sh -L unit      # fast pre-commit loop
+#   tools/run_tier1.sh -L gossip    # wire-format equivalence (runs every
+#                                   # scenario in both full and delta mode)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -45,5 +47,12 @@ if [[ "${BENCH:-0}" == "1" ]]; then
     python3 -m json.tool "$report" > /dev/null
     echo "ok: $(basename "$report")"
   done
+  # The gossip bandwidth bench doubles as a regression gate: its exit code
+  # asserts the delta wire format's >=5x steady-state saving, and its
+  # report must be present by name.
+  if [[ ! -f "$json_dir/BENCH_gossip_bandwidth.json" ]]; then
+    echo "BENCH=1: BENCH_gossip_bandwidth.json missing" >&2
+    exit 1
+  fi
   echo "BENCH=1: ${#reports[@]} bench reports validated in $json_dir"
 fi
