@@ -13,10 +13,40 @@ using astrolabe::ZonePath;
 MulticastService::MulticastService(Agent& agent, MulticastConfig config)
     : agent_(agent),
       config_(config),
-      budget_(config.forward_bytes_per_sec, config.forward_burst_bytes) {
+      budget_(config.forward_bytes_per_sec, config.forward_burst_bytes),
+      backoff_(config.reliable),
+      suspects_(config.reliable.suspicion_ttl) {
   agent_.RegisterHandler(kForwardType, [this](const sim::Message& msg) {
     HandleForward(msg);
   });
+  agent_.RegisterHandler(kReliableType, [this](const sim::Message& msg) {
+    HandleReliableForward(msg);
+  });
+  agent_.RegisterHandler(kAckType, [this](const sim::Message& msg) {
+    HandleAck(msg);
+  });
+  agent_.AddRestartHook([this] { OnRestart(); });
+  if (config_.report_load && config_.load_report_interval > 0) {
+    agent_.Schedule(config_.load_report_interval *
+                        (0.5 + agent_.Rng().NextDouble()),
+                    [this] { ReportLoad(); });
+  }
+}
+
+void MulticastService::OnRestart() {
+  // Everything here is process memory: a crashed-and-rebooted forwarding
+  // component comes back with empty queues, no unacked hops, an empty
+  // duplicate log, and no suspicions. Its timers died with the old
+  // incarnation, so the load reporter must be re-armed.
+  queues_.clear();
+  pending_.clear();
+  suspects_ = SuspicionCache(config_.reliable.suspicion_ttl);
+  seen_.clear();
+  seen_order_.clear();
+  affinity_.clear();
+  drain_scheduled_ = false;
+  last_reported_bytes_ = stats_.forward_bytes;
+  load_ewma_ = 0.0;
   if (config_.report_load && config_.load_report_interval > 0) {
     agent_.Schedule(config_.load_report_interval *
                         (0.5 + agent_.Rng().NextDouble()),
@@ -32,9 +62,19 @@ obs::MetricsRegistry* MulticastService::Metrics() {
     obs_.duplicates = m->Counter("multicast.forward.duplicates");
     obs_.forwards = m->Counter("multicast.forward.forwards");
     obs_.queue_drops = m->Counter("multicast.forward.queue_drops");
+    obs_.queue_shed = m->Counter("multicast.forward.queue_shed");
+    obs_.acks = m->Counter("multicast.forward.acks");
+    obs_.retransmits = m->Counter("multicast.forward.retransmits");
+    obs_.failovers = m->Counter("multicast.forward.failovers");
+    obs_.abandoned = m->Counter("multicast.forward.abandoned");
     obs_.init = true;
   }
   return m;
+}
+
+obs::EventTracer* MulticastService::Tracer() const {
+  auto* net = agent_.attached_network();
+  return net != nullptr ? net->tracer() : nullptr;
 }
 
 void MulticastService::ReportLoad() {
@@ -76,12 +116,38 @@ void MulticastService::SendToZone(const ZonePath& zone, Item item) {
     return;
   }
   std::vector<sim::NodeId> reps = ChooseReps(item.target_zone, contacts);
-  EnqueueForChild(item.target_zone, 1, QueueEntry{std::move(item), std::move(reps)});
+  // Copy the key before the QueueEntry steals the item: evaluation order
+  // of the arguments is unspecified, and a moved-from target_zone would
+  // collapse every child into one ""-keyed queue.
+  const std::string queue_key = item.target_zone;
+  EnqueueForChild(queue_key, 1, QueueEntry{std::move(item), std::move(reps)});
   DrainQueues();
 }
 
 void MulticastService::HandleForward(const sim::Message& msg) {
+  suspects_.Clear(msg.from);  // any inbound message proves the peer alive
   Disseminate(msg.As<Item>());
+}
+
+void MulticastService::HandleReliableForward(const sim::Message& msg) {
+  const auto& hop = msg.As<ReliableHop>();
+  suspects_.Clear(msg.from);
+  // Always ack — including duplicates. The retransmission that produced a
+  // duplicate means our previous ack was lost (or raced the timer); only a
+  // fresh ack stops the sender.
+  agent_.Send(sim::Message::Make(agent_.id(), msg.from, kAckType,
+                                 HopAck{hop.hop_id}, kAckWireBytes));
+  Disseminate(hop.item);
+}
+
+void MulticastService::HandleAck(const sim::Message& msg) {
+  const auto& ack = msg.As<HopAck>();
+  suspects_.Clear(msg.from);
+  auto it = pending_.find(ack.hop_id);
+  if (it == pending_.end()) return;  // late ack after failover/abandon
+  ++stats_.acks_received;
+  if (auto* m = Metrics()) m->Add(obs_.acks, agent_.id());
+  pending_.erase(it);
 }
 
 bool MulticastService::SeenBefore(const std::string& id) {
@@ -106,12 +172,10 @@ void MulticastService::Disseminate(Item item) {
   if (SeenBefore(item.id)) {
     ++stats_.duplicates;
     if (auto* m = Metrics()) m->Add(obs_.duplicates, agent_.id());
-    if (auto* net = agent_.attached_network(); net != nullptr) {
-      if (auto* t = net->tracer();
-          t != nullptr && t->Enabled(obs::EventCategory::kCache)) {
-        t->Record(agent_.Now(), agent_.id(), obs::EventCategory::kCache,
-                  "mc.dup", item.hops, 0, item.id);
-      }
+    if (auto* t = Tracer();
+        t != nullptr && t->Enabled(obs::EventCategory::kCache)) {
+      t->Record(agent_.Now(), agent_.id(), obs::EventCategory::kCache,
+                "mc.dup", item.hops, 0, item.id);
     }
     return;
   }
@@ -146,7 +210,8 @@ void MulticastService::Disseminate(Item item) {
         weight = static_cast<std::uint64_t>(
             std::max<std::int64_t>(1, it->second.AsInt()));
       }
-      EnqueueForChild(forwarded.target_zone, weight,
+      const std::string queue_key = forwarded.target_zone;  // see SendToZone
+      EnqueueForChild(queue_key, weight,
                       QueueEntry{std::move(forwarded), std::move(reps)});
     }
     // Within our own subtree we recurse in place: the loop continues one
@@ -157,22 +222,33 @@ void MulticastService::Disseminate(Item item) {
 
 std::vector<sim::NodeId> MulticastService::ChooseReps(
     const std::string& child_key, const std::vector<sim::NodeId>& contacts) {
+  // Steer fresh sends away from suspected-dead peers (negative cache); if
+  // every contact is suspected there is nothing better to try, so fall
+  // back to the full list rather than stalling the relay.
+  const double now = agent_.Now();
+  std::vector<sim::NodeId> candidates;
+  candidates.reserve(contacts.size());
+  for (sim::NodeId c : contacts) {
+    if (!suspects_.IsSuspected(c, now)) candidates.push_back(c);
+  }
+  if (candidates.empty()) candidates = contacts;
+
   std::vector<sim::NodeId> reps;
   const std::size_t want =
       std::min<std::size_t>(static_cast<std::size_t>(config_.redundancy),
-                            contacts.size());
+                            candidates.size());
   // Prefer the representative we already talk to ("where there currently
   // are open connections", §5), then fill randomly.
   if (auto it = affinity_.find(child_key); it != affinity_.end()) {
-    if (std::find(contacts.begin(), contacts.end(), it->second) !=
-        contacts.end()) {
+    if (std::find(candidates.begin(), candidates.end(), it->second) !=
+        candidates.end()) {
       reps.push_back(it->second);
     }
   }
   std::size_t guard = 0;
-  while (reps.size() < want && guard++ < contacts.size() * 4 + 8) {
+  while (reps.size() < want && guard++ < candidates.size() * 4 + 8) {
     const sim::NodeId pick =
-        contacts[agent_.Rng().NextBelow(contacts.size())];
+        candidates[agent_.Rng().NextBelow(candidates.size())];
     if (std::find(reps.begin(), reps.end(), pick) == reps.end()) {
       reps.push_back(pick);
     }
@@ -181,20 +257,52 @@ std::vector<sim::NodeId> MulticastService::ChooseReps(
   return reps;
 }
 
+std::int64_t MulticastService::UrgencyOf(const Item& item) const {
+  auto it = item.metadata.find(config_.urgency_attr);
+  if (it == item.metadata.end() ||
+      it->second.type() != astrolabe::AttrValue::Type::kInt) {
+    return 5;  // NITF mid-range default
+  }
+  return it->second.AsInt();
+}
+
 void MulticastService::EnqueueForChild(const std::string& child_key,
                                        std::uint64_t weight,
                                        QueueEntry entry) {
   ChildQueue& q = queues_[child_key];
   q.weight = weight;
   if (q.entries.size() >= config_.max_queue_items) {
+    // Graceful degradation: shed the lowest-urgency entry in the queue,
+    // not blindly the newcomer — a flash item (urgency 1) must never be
+    // lost in favor of a routine one. Ties keep the queued entry (FIFO
+    // fairness: the newcomer is shed).
+    auto worst = q.entries.begin();
+    for (auto it = std::next(q.entries.begin()); it != q.entries.end(); ++it) {
+      if (UrgencyOf(it->item) > UrgencyOf(worst->item)) worst = it;
+    }
+    obs::MetricsRegistry* m = Metrics();
     ++stats_.queue_drops;
-    if (auto* m = Metrics()) m->Add(obs_.queue_drops, agent_.id());
-    if (auto* net = agent_.attached_network(); net != nullptr) {
-      if (auto* t = net->tracer();
+    if (m != nullptr) m->Add(obs_.queue_drops, agent_.id());
+    if (UrgencyOf(entry.item) < UrgencyOf(worst->item)) {
+      ++stats_.queue_shed;
+      if (m != nullptr) m->Add(obs_.queue_shed, agent_.id());
+      if (auto* t = Tracer();
           t != nullptr && t->Enabled(obs::EventCategory::kDrop)) {
         t->Record(agent_.Now(), agent_.id(), obs::EventCategory::kDrop,
-                  "mc.queue_drop", q.entries.size(), 0, entry.item.id);
+                  "mc.queue_shed", std::uint64_t(UrgencyOf(worst->item)),
+                  q.entries.size(), worst->item.id);
       }
+      *worst = std::move(entry);
+      // Preserve arrival order among survivors: the replacement slot keeps
+      // the evicted entry's position, which is the best FIFO approximation
+      // without an O(n) splice.
+      return;
+    }
+    if (auto* t = Tracer();
+        t != nullptr && t->Enabled(obs::EventCategory::kDrop)) {
+      t->Record(agent_.Now(), agent_.id(), obs::EventCategory::kDrop,
+                "mc.queue_drop", std::uint64_t(UrgencyOf(entry.item)),
+                q.entries.size(), entry.item.id);
     }
     return;
   }
@@ -211,19 +319,129 @@ bool MulticastService::SendEntry(QueueEntry& entry, double now) {
     ++stats_.forwards;
     if (m != nullptr) m->Add(obs_.forwards, agent_.id());
     stats_.forward_bytes += wire;
-    agent_.Send(
-        sim::Message::Make(agent_.id(), rep, kForwardType, entry.item, wire));
+    if (config_.reliable.enabled &&
+        pending_.size() < config_.reliable.max_pending) {
+      const std::uint64_t hop_id = next_hop_id_++;
+      PendingHop& hop = pending_[hop_id];
+      hop.item = entry.item;
+      hop.dest = rep;
+      hop.attempt = 1;
+      hop.first_sent = now;
+      TransmitHop(hop_id, hop);
+    } else {
+      if (config_.reliable.enabled) ++stats_.pending_overflow;
+      agent_.Send(sim::Message::Make(agent_.id(), rep, kForwardType,
+                                     entry.item, wire));
+    }
   }
   return true;
 }
 
-std::int64_t MulticastService::UrgencyOf(const QueueEntry& entry) const {
-  auto it = entry.item.metadata.find(config_.urgency_attr);
-  if (it == entry.item.metadata.end() ||
-      it->second.type() != astrolabe::AttrValue::Type::kInt) {
-    return 5;  // NITF mid-range default
+void MulticastService::TransmitHop(std::uint64_t hop_id, PendingHop& hop) {
+  const std::size_t wire = hop.item.WireBytes() + 8;  // + hop id
+  agent_.Send(sim::Message::Make(agent_.id(), hop.dest, kReliableType,
+                                 ReliableHop{hop.item, hop_id}, wire));
+  const double delay = backoff_.DelayFor(hop.attempt, agent_.Rng());
+  agent_.Schedule(delay, [this, hop_id, expected = hop.attempt] {
+    OnAckTimeout(hop_id, expected);
+  });
+}
+
+std::vector<sim::NodeId> MulticastService::LiveContactsFor(
+    const PendingHop& hop) const {
+  // target_zone encodes the child zone exactly as Disseminate built it:
+  // level = depth-1, row key = leaf. Looking it up afresh on every retry
+  // means failover follows re-election instead of a stale snapshot.
+  const ZonePath zone = ZonePath::Parse(hop.item.target_zone);
+  if (zone.IsRoot() || zone.Depth() > agent_.Depth()) return {};
+  return agent_.ContactsOf(zone.Depth() - 1, zone.Leaf());
+}
+
+void MulticastService::OnAckTimeout(std::uint64_t hop_id,
+                                    int expected_attempt) {
+  auto it = pending_.find(hop_id);
+  if (it == pending_.end()) return;              // acked: timer canceled
+  PendingHop& hop = it->second;
+  if (hop.attempt != expected_attempt) return;   // superseded by a resend
+  const double now = agent_.Now();
+  obs::MetricsRegistry* m = Metrics();
+  obs::EventTracer* t = Tracer();
+
+  if (now - hop.first_sent >= config_.reliable.give_up_after) {
+    ++stats_.abandoned;
+    if (m != nullptr) m->Add(obs_.abandoned, agent_.id());
+    if (t != nullptr && t->Enabled(obs::EventCategory::kReliable)) {
+      t->Record(now, agent_.id(), obs::EventCategory::kReliable, "mc.abandon",
+                hop.dest, std::uint64_t(hop.attempt), hop.item.id);
+    }
+    suspects_.Suspect(hop.dest, now);
+    pending_.erase(it);
+    return;
   }
-  return it->second.AsInt();
+
+  const std::vector<sim::NodeId> contacts = LiveContactsFor(hop);
+  const bool dest_is_current =
+      contacts.empty() ||  // row expired/unknown: keep trying the last rep
+      std::find(contacts.begin(), contacts.end(), hop.dest) != contacts.end();
+
+  if (hop.attempt >= config_.reliable.attempts_per_peer || !dest_is_current) {
+    // Fail over to an alternate representative of the same child zone.
+    suspects_.Suspect(hop.dest, now);
+    if (std::find(hop.tried.begin(), hop.tried.end(), hop.dest) ==
+        hop.tried.end()) {
+      hop.tried.push_back(hop.dest);
+    }
+    sim::NodeId next = hop.dest;
+    // Preference order: untried & unsuspected, then unsuspected, then
+    // untried; keep the current peer only when it is the sole option.
+    auto pick = [&](auto&& admit) -> bool {
+      std::vector<sim::NodeId> pool;
+      for (sim::NodeId c : contacts) {
+        if (c != hop.dest && admit(c)) pool.push_back(c);
+      }
+      if (pool.empty()) return false;
+      next = pool[agent_.Rng().NextBelow(pool.size())];
+      return true;
+    };
+    const auto untried = [&](sim::NodeId c) {
+      return std::find(hop.tried.begin(), hop.tried.end(), c) ==
+             hop.tried.end();
+    };
+    const auto unsuspected = [&](sim::NodeId c) {
+      return !suspects_.IsSuspected(c, now);
+    };
+    (void)(pick([&](sim::NodeId c) { return untried(c) && unsuspected(c); }) ||
+           pick(unsuspected) || pick(untried));
+    if (next != hop.dest) {
+      ++stats_.failovers;
+      if (m != nullptr) m->Add(obs_.failovers, agent_.id());
+      if (t != nullptr && t->Enabled(obs::EventCategory::kReliable)) {
+        t->Record(now, agent_.id(), obs::EventCategory::kReliable,
+                  "mc.failover", hop.dest, next, hop.item.id);
+      }
+      // The affinity "open connection" moves with the failover so later
+      // items skip the dead peer immediately.
+      affinity_[hop.item.target_zone] = next;
+      hop.dest = next;
+      hop.attempt = 1;
+    } else {
+      ++hop.attempt;  // sole contact: keep retrying at the backoff cap
+    }
+  } else {
+    ++hop.attempt;
+  }
+
+  ++stats_.retransmits;
+  if (m != nullptr) m->Add(obs_.retransmits, agent_.id());
+  if (t != nullptr && t->Enabled(obs::EventCategory::kReliable)) {
+    t->Record(now, agent_.id(), obs::EventCategory::kReliable, "mc.retx",
+              hop.dest, std::uint64_t(hop.attempt), hop.item.id);
+  }
+  // Retransmissions bypass the token bucket: they are few (bounded by the
+  // backoff schedule), and starving recovery behind fresh traffic would
+  // invert the reliability priority. Bytes are still accounted.
+  stats_.forward_bytes += hop.item.WireBytes();
+  TransmitHop(hop_id, hop);
 }
 
 void MulticastService::DrainQueues() {
@@ -268,7 +486,7 @@ void MulticastService::DrainQueues() {
         std::int64_t best_urgency = 0;
         for (auto& [key, q] : queues_) {
           for (auto it = q.entries.begin(); it != q.entries.end(); ++it) {
-            const std::int64_t u = UrgencyOf(*it);
+            const std::int64_t u = UrgencyOf(it->item);
             if (best_q == nullptr || u < best_urgency) {
               best_q = &q;
               best_it = it;

@@ -8,6 +8,17 @@
 // representatives per child. Each forwarding component keeps a duplicate-
 // suppression log and per-child forwarding queues drained by weighted
 // round-robin under a byte budget (§9).
+//
+// Two relay disciplines (PROTOCOLS.md "Reliable forwarding"):
+//  * reliable (default) — every downward relay carries a hop id and the
+//    receiver acknowledges it; on timeout the sender retransmits with
+//    exponential backoff + jitter, and after `attempts_per_peer` failures
+//    fails over to an alternate representative of the same child zone,
+//    re-consulting the live contacts list at every retry so failover
+//    tracks re-election. A per-peer suspicion cache steers fresh sends
+//    away from peers that recently timed out.
+//  * fire-and-forget (legacy) — one unacknowledged mc.fwd per hop; losses
+//    are left to redundancy and the subscriber repair layer.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +30,7 @@
 #include <vector>
 
 #include "astrolabe/agent.h"
+#include "multicast/reliable.h"
 #include "util/token_bucket.h"
 
 namespace nw::multicast {
@@ -43,8 +55,9 @@ struct MulticastConfig {
   std::size_t max_queue_items = 10000;  // per child-zone queue bound
   std::size_t dup_log_capacity = 1 << 16;
   QueueStrategy queue_strategy = QueueStrategy::kWeightedRoundRobin;
-  // Name of the metadata attribute consulted by kUrgencyFirst; lower
-  // values drain first (NITF urgency semantics: 1 = flash).
+  // Name of the metadata attribute consulted by kUrgencyFirst and by the
+  // overflow eviction policy; lower values drain first and are shed last
+  // (NITF urgency semantics: 1 = flash).
   std::string urgency_attr = "urgency";
   // Paper §5: representative election "combines the local knowledge of
   // availability of independent network paths ... the load on those paths
@@ -54,6 +67,8 @@ struct MulticastConfig {
   // elect the least-loaded contacts.
   bool report_load = true;
   double load_report_interval = 5.0;
+  // Hop-level ack/retransmit/failover discipline (see reliable.h).
+  ReliableConfig reliable;
 };
 
 // The unit of dissemination. Metadata rides along for filtering; the body
@@ -78,8 +93,17 @@ struct MulticastStats {
   std::uint64_t forwards = 0;        // messages relayed downward
   std::uint64_t forward_bytes = 0;
   std::uint64_t filtered = 0;        // child zones skipped by the filter
-  std::uint64_t queue_drops = 0;     // overload losses
+  std::uint64_t queue_drops = 0;     // overload losses (shed or refused)
+  std::uint64_t queue_shed = 0;      // of which: lower-urgency entry evicted
   std::uint64_t misrouted = 0;       // received for a zone we are not in
+  // Reliable-mode accounting.
+  std::uint64_t acks_received = 0;
+  std::uint64_t retransmits = 0;     // timed-out hops sent again
+  std::uint64_t failovers = 0;       // hops redirected to an alternate rep
+  std::uint64_t abandoned = 0;       // hops given up after give_up_after
+  std::uint64_t pending_overflow = 0;  // hops sent unreliably: pending full
+
+  std::uint64_t TotalOverflowLosses() const { return queue_drops; }
 };
 
 // Attaches the forwarding component to an Astrolabe agent. The service
@@ -105,8 +129,27 @@ class MulticastService {
   const MulticastStats& stats() const { return stats_; }
   astrolabe::Agent& agent() { return agent_; }
 
-  // Message type used on the wire; exposed for traffic accounting.
-  static constexpr const char* kForwardType = "mc.fwd";
+  // Unacked reliable hops currently awaiting ack or retransmission.
+  std::size_t pending_hops() const { return pending_.size(); }
+  // Peers currently under suspicion (negative cache, TTL-pruned).
+  std::size_t suspected_peers() { return suspects_.LiveCount(agent_.Now()); }
+
+  // Message types used on the wire; exposed for traffic accounting.
+  static constexpr const char* kForwardType = "mc.fwd";    // fire-and-forget
+  static constexpr const char* kReliableType = "mc.rfwd";  // hop id, acked
+  static constexpr const char* kAckType = "mc.ack";
+  // Modeled ack size: hop id + header-level framing.
+  static constexpr std::size_t kAckWireBytes = 16;
+
+  // Reliable relay payload: the item plus the hop id the ack echoes.
+  struct ReliableHop {
+    Item item;
+    std::uint64_t hop_id = 0;
+    std::size_t WireBytes() const { return item.WireBytes() + 8; }
+  };
+  struct HopAck {
+    std::uint64_t hop_id = 0;
+  };
 
  private:
   struct QueueEntry {
@@ -118,23 +161,44 @@ class MulticastService {
     std::uint64_t weight = 1;  // nmembers of the child zone
     std::uint64_t credit = 0;  // WRR state
   };
+  // One unacked reliable relay. The child zone is recovered from
+  // item.target_zone at every retry so the contacts lookup always sees the
+  // live table (failover tracks re-election, not a snapshot).
+  struct PendingHop {
+    Item item;
+    sim::NodeId dest = sim::kInvalidNode;
+    int attempt = 1;        // sends to `dest` so far
+    double first_sent = 0;  // give-up clock
+    std::vector<sim::NodeId> tried;  // peers already failed over from
+  };
 
   // Observability (null-safe; ids registered lazily on first use).
   obs::MetricsRegistry* Metrics();
+  obs::EventTracer* Tracer() const;
   struct ObsIds {
     bool init = false;
-    std::uint32_t delivered, duplicates, forwards, queue_drops;
+    std::uint32_t delivered, duplicates, forwards, queue_drops, queue_shed,
+        acks, retransmits, failovers, abandoned;
   };
 
   void HandleForward(const sim::Message& msg);
+  void HandleReliableForward(const sim::Message& msg);
+  void HandleAck(const sim::Message& msg);
   void Disseminate(Item item);
   bool SeenBefore(const std::string& id);
   void EnqueueForChild(const std::string& child_key, std::uint64_t weight,
                        QueueEntry entry);
   void DrainQueues();
   bool SendEntry(QueueEntry& entry, double now);
-  std::int64_t UrgencyOf(const QueueEntry& entry) const;
+  // Transmits one reliable hop (first send or retransmission) and arms its
+  // ack timer.
+  void TransmitHop(std::uint64_t hop_id, PendingHop& hop);
+  void OnAckTimeout(std::uint64_t hop_id, int expected_attempt);
+  // Representatives of the child zone `hop` targets, from the live tables.
+  std::vector<sim::NodeId> LiveContactsFor(const PendingHop& hop) const;
+  std::int64_t UrgencyOf(const Item& item) const;
   void ReportLoad();
+  void OnRestart();
   std::vector<sim::NodeId> ChooseReps(const std::string& child_key,
                                       const std::vector<sim::NodeId>& contacts);
 
@@ -143,7 +207,11 @@ class MulticastService {
   DeliveryCallback deliver_;
   ForwardFilter filter_;
   util::TokenBucket budget_;
+  BackoffPolicy backoff_;
+  SuspicionCache suspects_;
   std::map<std::string, ChildQueue> queues_;
+  std::map<std::uint64_t, PendingHop> pending_;  // hop id -> unacked relay
+  std::uint64_t next_hop_id_ = 1;
   bool drain_scheduled_ = false;
   // Bounded duplicate log: set + FIFO eviction order.
   std::unordered_set<std::string> seen_;

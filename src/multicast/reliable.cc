@@ -1,0 +1,41 @@
+#include "multicast/reliable.h"
+
+#include <algorithm>
+
+namespace nw::multicast {
+
+double BackoffPolicy::BaseDelay(int attempt) const {
+  double delay = config_.ack_timeout;
+  for (int i = 1; i < attempt; ++i) {
+    delay *= config_.backoff_multiplier;
+    if (delay >= config_.backoff_cap) break;
+  }
+  return std::min(delay, config_.backoff_cap);
+}
+
+double BackoffPolicy::DelayFor(int attempt, util::DeterministicRng& rng) const {
+  const double base = BaseDelay(attempt);
+  const double spread = 2.0 * rng.NextDouble() - 1.0;  // uniform in [-1, 1]
+  return base * (1.0 + config_.jitter_frac * spread);
+}
+
+void SuspicionCache::Suspect(sim::NodeId peer, double now) {
+  double& until = until_[peer];
+  until = std::max(until, now + ttl_);
+}
+
+void SuspicionCache::Clear(sim::NodeId peer) { until_.erase(peer); }
+
+bool SuspicionCache::IsSuspected(sim::NodeId peer, double now) const {
+  auto it = until_.find(peer);
+  return it != until_.end() && it->second > now;
+}
+
+std::size_t SuspicionCache::LiveCount(double now) {
+  for (auto it = until_.begin(); it != until_.end();) {
+    it = it->second > now ? std::next(it) : until_.erase(it);
+  }
+  return until_.size();
+}
+
+}  // namespace nw::multicast

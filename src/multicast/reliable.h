@@ -1,0 +1,84 @@
+// Reliable hop-by-hop forwarding primitives (paper §5, §9 robustness).
+//
+// The multicast relay is only as reliable as its weakest hop: a forward to
+// a crashed or partitioned representative silently loses the item for that
+// whole subtree until subscriber-level anti-entropy repairs it seconds
+// later. This header holds the small, independently testable pieces of the
+// reliable forwarding mode: the retransmission backoff schedule and the
+// per-peer suspicion cache (a negative cache with TTL that steers new
+// sends away from peers that recently timed out). The forwarding component
+// itself (MulticastService) wires them into the mc.rfwd/mc.ack exchange —
+// see PROTOCOLS.md "Reliable forwarding".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "sim/message.h"
+#include "util/rng.h"
+
+namespace nw::multicast {
+
+// Knobs of the reliable forwarding mode. Defaults are tuned for the
+// simulated WAN (30 ms one-way latency): the first retransmission fires
+// after ~8 RTTs, well clear of jitter, and the whole schedule caps far
+// below the subscriber repair interval so hop-level recovery always beats
+// the repair path.
+struct ReliableConfig {
+  bool enabled = true;        // false = legacy fire-and-forget relays
+  double ack_timeout = 0.25;  // initial retransmission timeout (seconds)
+  double backoff_multiplier = 2.0;
+  double backoff_cap = 2.0;   // ceiling on the (pre-jitter) delay
+  double jitter_frac = 0.2;   // uniform jitter: delay * (1 ± jitter_frac)
+  // Retransmissions to one peer before failing over to an alternate
+  // representative of the same child zone.
+  int attempts_per_peer = 3;
+  // Total time a hop keeps being retried (across failovers) before the
+  // item is abandoned to the repair layer. Must exceed the longest
+  // crash/partition window the deployment is expected to ride out.
+  double give_up_after = 60.0;
+  double suspicion_ttl = 10.0;     // negative-cache TTL (seconds)
+  std::size_t max_pending = 8192;  // bound on unacked hops per node
+};
+
+// The retransmission schedule: exponential backoff with a cap and
+// symmetric uniform jitter. Pure apart from the injected rng, so tests can
+// assert the schedule deterministically.
+class BackoffPolicy {
+ public:
+  explicit BackoffPolicy(const ReliableConfig& config) : config_(config) {}
+
+  // Pre-jitter delay before the `attempt`-th retransmission (attempt >= 1):
+  // min(ack_timeout * multiplier^(attempt-1), cap).
+  double BaseDelay(int attempt) const;
+
+  // BaseDelay with jitter applied: uniform in [base*(1-j), base*(1+j)].
+  double DelayFor(int attempt, util::DeterministicRng& rng) const;
+
+ private:
+  ReliableConfig config_;
+};
+
+// Negative cache of suspected-dead peers. A peer enters when a forward to
+// it times out repeatedly and leaves either when its TTL expires or when
+// any message from it proves it alive. Representative choice consults the
+// cache so fresh sends prefer peers not under suspicion.
+class SuspicionCache {
+ public:
+  explicit SuspicionCache(double ttl) : ttl_(ttl) {}
+
+  void Suspect(sim::NodeId peer, double now);
+  // Liveness proof (an ack or any inbound message): drop the suspicion.
+  void Clear(sim::NodeId peer);
+  bool IsSuspected(sim::NodeId peer, double now) const;
+  // Live (unexpired) entries; also prunes expired ones.
+  std::size_t LiveCount(double now);
+  double ttl() const noexcept { return ttl_; }
+
+ private:
+  double ttl_;
+  std::map<sim::NodeId, double> until_;  // peer -> suspicion expiry time
+};
+
+}  // namespace nw::multicast

@@ -170,6 +170,27 @@ std::string NewswireSystem::PublishArticle(std::size_t publisher_idx,
   return pub.name() + "#" + std::to_string(seq);
 }
 
+multicast::MulticastStats NewswireSystem::MulticastTotals() const {
+  multicast::MulticastStats total;
+  for (const auto& mc : mc_) {
+    const multicast::MulticastStats& s = mc->stats();
+    total.delivered += s.delivered;
+    total.duplicates += s.duplicates;
+    total.forwards += s.forwards;
+    total.forward_bytes += s.forward_bytes;
+    total.filtered += s.filtered;
+    total.queue_drops += s.queue_drops;
+    total.queue_shed += s.queue_shed;
+    total.misrouted += s.misrouted;
+    total.acks_received += s.acks_received;
+    total.retransmits += s.retransmits;
+    total.failovers += s.failovers;
+    total.abandoned += s.abandoned;
+    total.pending_overflow += s.pending_overflow;
+  }
+  return total;
+}
+
 std::size_t NewswireSystem::DeliveredCount(const std::string& item_id) const {
   auto it = delivered_count_.find(item_id);
   return it == delivered_count_.end() ? 0 : it->second;

@@ -100,6 +100,10 @@ class NewswireSystem {
       std::size_t publisher, const std::string& subject,
       const astrolabe::ZonePath& scope = astrolabe::ZonePath::Root());
 
+  // Sum of the per-node forwarding-component counters across the whole
+  // deployment (acks, retransmits, failovers, shed items, ...).
+  multicast::MulticastStats MulticastTotals() const;
+
   // ---- delivery metrics --------------------------------------------------
   std::size_t DeliveredCount(const std::string& item_id) const;
   const util::SampleStats& latencies() const { return latencies_; }

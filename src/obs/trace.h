@@ -31,6 +31,7 @@ enum class EventCategory : std::uint8_t {
   kPublish,   // publisher output
   kCache,     // message-cache activity (duplicate suppression)
   kRepair,    // anti-entropy pull repair and state transfer
+  kReliable,  // hop-level acks, retransmissions, failovers
   kCount_,    // sentinel
 };
 

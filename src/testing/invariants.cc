@@ -236,6 +236,33 @@ InvariantReport CheckReplayIdentical(const std::vector<DeliveryRecord>& a,
   return report;
 }
 
+InvariantReport CheckSameDeliverySets(const std::vector<DeliveryRecord>& a,
+                                      const std::vector<DeliveryRecord>& b) {
+  InvariantReport report;
+  report.invariant = "same-delivery-sets";
+  auto as_set = [](const std::vector<DeliveryRecord>& trace) {
+    std::set<std::pair<std::size_t, std::string>> out;
+    for (const DeliveryRecord& rec : trace) out.insert({rec.subscriber, rec.item_id});
+    return out;
+  };
+  const auto sa = as_set(a);
+  const auto sb = as_set(b);
+  report.checked = std::max(sa.size(), sb.size());
+  for (const auto& [sub, item] : sa) {
+    if (!sb.contains({sub, item})) {
+      report.violations.push_back({"subscriber " + std::to_string(sub) +
+                                   " got " + item + " only in trace A"});
+    }
+  }
+  for (const auto& [sub, item] : sb) {
+    if (!sa.contains({sub, item})) {
+      report.violations.push_back({"subscriber " + std::to_string(sub) +
+                                   " got " + item + " only in trace B"});
+    }
+  }
+  return report;
+}
+
 std::uint64_t MibContentHash(astrolabe::Deployment& dep) {
   std::uint64_t h = 0xcbf29ce484222325ull;
   auto mix = [&h](std::uint64_t v) { h = util::HashCombine(h, v); };

@@ -121,6 +121,14 @@ InvariantReport CheckSubscriptionSoundness(newswire::NewswireSystem& sys,
 InvariantReport CheckReplayIdentical(const std::vector<DeliveryRecord>& a,
                                      const std::vector<DeliveryRecord>& b);
 
+// Both traces delivered the same set of (subscriber, item) pairs — order,
+// timing, and duplicate re-deliveries across incarnations are ignored.
+// This is the right equality for fault scenarios compared against a
+// fault-free run: a crashed subscriber loses its cache, so cache-based
+// completeness under-reports even when every delivery happened.
+InvariantReport CheckSameDeliverySets(const std::vector<DeliveryRecord>& a,
+                                      const std::vector<DeliveryRecord>& b);
+
 // Content-only hash of every agent's replicated state: zone paths, row
 // keys, and attribute names/values at every level — deliberately excluding
 // row versions and refresh times. Two runs that converged to the same

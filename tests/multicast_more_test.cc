@@ -136,6 +136,80 @@ TEST(Stats, ForwardBytesMatchBodyPlusMetadata) {
   EXPECT_LT(stats.forward_bytes, 3u * 1400u);  // + metadata overhead only
 }
 
+Item UrgentItem(Env& env, const std::string& id, int urgency,
+                std::size_t body = 1000) {
+  Item item = env.MakeItem(id, body);
+  item.metadata["urgency"] = urgency;
+  return item;
+}
+
+// Regression for the shed-policy bug: a full queue used to refuse the
+// incoming item unconditionally, so a flash bulletin arriving behind a
+// backlog of routine traffic was the one that got lost.
+TEST(Shedding, FlashItemIsNeverShedInFavorOfRoutine) {
+  MulticastConfig mc;
+  mc.forward_bytes_per_sec = 1'500;  // throttle hard so queues back up
+  mc.forward_burst_bytes = 1'500;
+  mc.max_queue_items = 2;
+  Env env(4, 4, mc);
+  std::vector<std::set<std::string>> got(env.dep.size());
+  for (std::size_t i = 0; i < env.dep.size(); ++i) {
+    env.svc[i]->SetDeliveryCallback(
+        [&got, i](const Item& item) { got[i].insert(item.id); });
+  }
+  // Back up every per-child queue with routine traffic (NITF urgency 8)...
+  for (int k = 0; k < 12; ++k) {
+    env.svc[0]->SendToZone(ZonePath::Root(),
+                           UrgentItem(env, "routine#" + std::to_string(k), 8));
+  }
+  EXPECT_GT(env.svc[0]->stats().queue_drops, 0u);
+  const auto shed_before = env.svc[0]->stats().queue_shed;
+  // ...then a flash bulletin (urgency 1) arrives at the full queues.
+  env.svc[0]->SendToZone(ZonePath::Root(), UrgentItem(env, "flash#1", 1));
+  EXPECT_GT(env.svc[0]->stats().queue_shed, shed_before)
+      << "the flash item must evict a routine entry, not be refused";
+  env.dep.RunFor(120);
+  // Every leaf received the flash item; only routine items were lost.
+  for (std::size_t i = 1; i < env.dep.size(); ++i) {
+    EXPECT_TRUE(got[i].contains("flash#1")) << "leaf " << i;
+    EXPECT_LT(got[i].size(), 13u) << "leaf " << i;  // overflow really shed
+  }
+}
+
+TEST(Shedding, RoutineNewcomerIsShedWhenQueueHoldsMoreUrgent) {
+  MulticastConfig mc;
+  mc.forward_bytes_per_sec = 1'500;
+  mc.forward_burst_bytes = 1'500;
+  mc.max_queue_items = 2;
+  Env env(4, 4, mc);
+  for (int k = 0; k < 12; ++k) {
+    env.svc[0]->SendToZone(ZonePath::Root(),
+                           UrgentItem(env, "flash#" + std::to_string(k), 1));
+  }
+  const auto drops_before = env.svc[0]->stats().queue_drops;
+  EXPECT_GT(drops_before, 0u);
+  env.svc[0]->SendToZone(ZonePath::Root(), UrgentItem(env, "routine#1", 8));
+  EXPECT_GT(env.svc[0]->stats().queue_drops, drops_before);
+  EXPECT_EQ(env.svc[0]->stats().queue_shed, 0u)
+      << "nothing lower-urgency was queued, so nothing may be evicted";
+}
+
+TEST(Shedding, TieKeepsQueuedEntryAndShedsNewcomer) {
+  MulticastConfig mc;
+  mc.forward_bytes_per_sec = 1'500;
+  mc.forward_burst_bytes = 1'500;
+  mc.max_queue_items = 1;
+  Env env(4, 4, mc);
+  for (int k = 0; k < 8; ++k) {
+    env.svc[0]->SendToZone(ZonePath::Root(),
+                           UrgentItem(env, "even#" + std::to_string(k), 5));
+  }
+  // Equal urgency everywhere: overflow counts as a plain drop (FIFO
+  // fairness keeps the older entry), never as an urgency eviction.
+  EXPECT_GT(env.svc[0]->stats().queue_drops, 0u);
+  EXPECT_EQ(env.svc[0]->stats().queue_shed, 0u);
+}
+
 TEST(Stats, MisroutedCountsUnknownZones) {
   MulticastConfig mc;
   Env env(16, 4, mc);

@@ -119,6 +119,67 @@ TEST(FeedAgent, ThrottledByPublisherFlowControl) {
   EXPECT_EQ(feed.stats().throttled, 4u);
 }
 
+TEST(Publisher, RevisionChainsSupersedesAndInheritsSubject) {
+  NewswireSystem sys(Small());
+  sys.RunFor(5);
+  // Publish an original on a subject somebody subscribes to.
+  const std::string subject = sys.SubjectsOf(0)[0];
+  const std::string id1 = sys.PublishArticle(0, subject);
+  ASSERT_FALSE(id1.empty());
+  sys.RunFor(10);
+
+  // PublishRevision only reads the chain fields of `prev`.
+  NewsItem prev;
+  prev.publisher = sys.publisher(0).name();
+  prev.seq = 1;
+  prev.subject = subject;
+  prev.revision = 0;
+  ASSERT_EQ(prev.Id(), id1);
+
+  NewsItem update;
+  update.headline = "corrected";
+  update.body_bytes = 512;  // subject left empty: inherited from prev
+  ASSERT_TRUE(sys.publisher(0).PublishRevision(prev, update));
+  sys.RunFor(10);
+
+  const std::string id2 = sys.publisher(0).name() + "#2";
+  std::size_t holder = SIZE_MAX;
+  for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
+    if (sys.subscriber(i).cache().Contains(id2)) holder = i;
+  }
+  ASSERT_NE(holder, SIZE_MAX) << "revision was disseminated like any item";
+  const NewsItem* rev = sys.subscriber(holder).cache().Find(id2);
+  ASSERT_NE(rev, nullptr);
+  EXPECT_EQ(rev->supersedes, id1);
+  EXPECT_EQ(rev->revision, 1u);
+  EXPECT_EQ(rev->subject, subject) << "empty subject inherits from prev";
+  // fuse_revisions: accepting the successor evicted the original.
+  EXPECT_FALSE(sys.subscriber(holder).cache().Contains(id1));
+}
+
+TEST(Publisher, FlowControlThrottlesAndKeepsSequenceGapFree) {
+  SystemConfig cfg = Small();
+  cfg.publisher_rate = 0.001;  // effectively no refill during the test
+  cfg.publisher_burst = 2.0;
+  NewswireSystem sys(cfg);
+  sys.RunFor(5);
+  int admitted = 0, refused = 0;
+  for (int k = 0; k < 5; ++k) {
+    if (sys.PublishArticle(0, sys.catalog()[0]).empty()) {
+      ++refused;
+    } else {
+      ++admitted;
+    }
+  }
+  EXPECT_EQ(admitted, 2);  // the burst allowance
+  EXPECT_EQ(refused, 3);
+  const Publisher::Stats& stats = sys.publisher(0).stats();
+  EXPECT_EQ(stats.published, 2u);
+  EXPECT_EQ(stats.throttled, 3u);
+  // Refused items consume no sequence numbers: ids stay dense.
+  EXPECT_EQ(sys.publisher(0).next_seq(), 3u);
+}
+
 TEST(CacheBoundary, IdsSinceIsInclusive) {
   MessageCache cache;
   NewsItem a;

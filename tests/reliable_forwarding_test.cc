@@ -1,0 +1,300 @@
+// Tests for the reliable hop-by-hop forwarding layer: backoff schedule,
+// suspicion cache, ack/retransmit behavior, representative failover, and
+// recovery of pending hops across peer restarts.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "astrolabe/deployment.h"
+#include "multicast/multicast.h"
+#include "multicast/reliable.h"
+#include "util/rng.h"
+
+namespace nw::multicast {
+namespace {
+
+using astrolabe::Deployment;
+using astrolabe::DeploymentConfig;
+using astrolabe::ZonePath;
+
+// ---- BackoffPolicy -----------------------------------------------------
+
+TEST(BackoffPolicy, BaseDelayDoublesUpToCap) {
+  ReliableConfig cfg;
+  cfg.ack_timeout = 0.25;
+  cfg.backoff_multiplier = 2.0;
+  cfg.backoff_cap = 2.0;
+  BackoffPolicy policy(cfg);
+  EXPECT_DOUBLE_EQ(policy.BaseDelay(1), 0.25);
+  EXPECT_DOUBLE_EQ(policy.BaseDelay(2), 0.5);
+  EXPECT_DOUBLE_EQ(policy.BaseDelay(3), 1.0);
+  EXPECT_DOUBLE_EQ(policy.BaseDelay(4), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BaseDelay(5), 2.0);   // capped
+  EXPECT_DOUBLE_EQ(policy.BaseDelay(50), 2.0);  // stays capped forever
+}
+
+TEST(BackoffPolicy, JitterStaysWithinConfiguredBand) {
+  ReliableConfig cfg;
+  cfg.ack_timeout = 0.25;
+  cfg.jitter_frac = 0.2;
+  BackoffPolicy policy(cfg);
+  util::DeterministicRng rng(7);
+  double lo = 1e9, hi = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double d = policy.DelayFor(1, rng);
+    EXPECT_GE(d, 0.25 * 0.8 - 1e-12);
+    EXPECT_LE(d, 0.25 * 1.2 + 1e-12);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  // The jitter actually spreads the delays rather than collapsing to one
+  // value (retransmissions from many nodes must not synchronize).
+  EXPECT_LT(lo, 0.25 * 0.85);
+  EXPECT_GT(hi, 0.25 * 1.15);
+}
+
+TEST(BackoffPolicy, ZeroJitterIsDeterministic) {
+  ReliableConfig cfg;
+  cfg.ack_timeout = 0.5;
+  cfg.jitter_frac = 0.0;
+  BackoffPolicy policy(cfg);
+  util::DeterministicRng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(policy.DelayFor(1, rng), 0.5);
+  }
+}
+
+// ---- SuspicionCache ----------------------------------------------------
+
+TEST(SuspicionCache, SuspicionExpiresAfterTtl) {
+  SuspicionCache cache(10.0);
+  cache.Suspect(3, /*now=*/100.0);
+  EXPECT_TRUE(cache.IsSuspected(3, 100.0));
+  EXPECT_TRUE(cache.IsSuspected(3, 109.9));
+  EXPECT_FALSE(cache.IsSuspected(3, 110.0));
+  EXPECT_FALSE(cache.IsSuspected(4, 100.0));  // never suspected
+}
+
+TEST(SuspicionCache, ReSuspectExtendsButNeverShortens) {
+  SuspicionCache cache(10.0);
+  cache.Suspect(3, 100.0);  // until 110
+  cache.Suspect(3, 105.0);  // until 115
+  EXPECT_TRUE(cache.IsSuspected(3, 114.0));
+  cache.Suspect(3, 90.0);  // stale evidence must not shorten the sentence
+  EXPECT_TRUE(cache.IsSuspected(3, 114.0));
+}
+
+TEST(SuspicionCache, ClearOnLivenessProof) {
+  SuspicionCache cache(10.0);
+  cache.Suspect(3, 100.0);
+  cache.Clear(3);
+  EXPECT_FALSE(cache.IsSuspected(3, 100.0));
+}
+
+TEST(SuspicionCache, LiveCountPrunesExpiredEntries) {
+  SuspicionCache cache(10.0);
+  cache.Suspect(1, 100.0);
+  cache.Suspect(2, 104.0);
+  EXPECT_EQ(cache.LiveCount(105.0), 2u);
+  EXPECT_EQ(cache.LiveCount(112.0), 1u);  // peer 1 expired and was pruned
+  EXPECT_EQ(cache.LiveCount(120.0), 0u);
+}
+
+// ---- integration -------------------------------------------------------
+
+class ReliableEnv {
+ public:
+  ReliableEnv(std::size_t n, std::size_t branching, MulticastConfig mc = {},
+              sim::NetworkConfig net = {}, std::uint64_t seed = 1)
+      : dep_([&] {
+          DeploymentConfig cfg;
+          cfg.num_agents = n;
+          cfg.branching = branching;
+          cfg.net = net;
+          cfg.seed = seed;
+          return cfg;
+        }()) {
+    for (std::size_t i = 0; i < dep_.size(); ++i) {
+      services_.push_back(
+          std::make_unique<MulticastService>(dep_.agent(i), mc));
+      services_.back()->SetDeliveryCallback(
+          [this, i](const Item& item) { deliveries_[i].push_back(item.id); });
+      deliveries_.emplace_back();
+    }
+    deliveries_.resize(dep_.size());
+    dep_.WarmStart();
+  }
+
+  Deployment& dep() { return dep_; }
+  MulticastService& svc(std::size_t i) { return *services_[i]; }
+  const std::vector<std::string>& delivered(std::size_t i) const {
+    return deliveries_[i];
+  }
+  std::size_t TotalDeliveries() const {
+    std::size_t n = 0;
+    for (const auto& d : deliveries_) n += d.size();
+    return n;
+  }
+  MulticastStats Totals() const {
+    MulticastStats t;
+    for (const auto& s : services_) {
+      t.retransmits += s->stats().retransmits;
+      t.failovers += s->stats().failovers;
+      t.acks_received += s->stats().acks_received;
+      t.abandoned += s->stats().abandoned;
+      t.pending_overflow += s->stats().pending_overflow;
+      t.duplicates += s->stats().duplicates;
+    }
+    return t;
+  }
+  std::size_t TotalPending() {
+    std::size_t n = 0;
+    for (const auto& s : services_) n += s->pending_hops();
+    return n;
+  }
+
+  Item MakeItem(const std::string& id, std::size_t body = 256) {
+    Item item;
+    item.id = id;
+    item.body_bytes = body;
+    item.published_at = dep_.sim().Now();
+    return item;
+  }
+
+ private:
+  Deployment dep_;
+  std::vector<std::unique_ptr<MulticastService>> services_;
+  std::vector<std::vector<std::string>> deliveries_;
+};
+
+TEST(ReliableForwarding, FaultFreeRunAcksEverythingNoRetransmits) {
+  ReliableEnv env(16, 4);
+  env.svc(0).SendToZone(ZonePath::Root(), env.MakeItem("a#1"));
+  env.dep().RunFor(30);
+  EXPECT_EQ(env.TotalDeliveries(), 16u);
+  const MulticastStats t = env.Totals();
+  EXPECT_GT(t.acks_received, 0u);
+  EXPECT_EQ(t.retransmits, 0u);  // every ack arrived before its timer
+  EXPECT_EQ(t.failovers, 0u);
+  EXPECT_EQ(env.TotalPending(), 0u);  // all timers canceled by acks
+}
+
+TEST(ReliableForwarding, RetransmitRecoversFromHeavyLoss) {
+  sim::NetworkConfig net;
+  net.loss_prob = 0.3;
+  MulticastConfig mc;
+  mc.redundancy = 1;  // no redundant paths: retransmission does all the work
+  ReliableEnv env(16, 4, mc, net);
+  for (int k = 0; k < 5; ++k) {
+    env.svc(0).SendToZone(ZonePath::Root(),
+                          env.MakeItem("a#" + std::to_string(k)));
+  }
+  env.dep().RunFor(40);
+  EXPECT_EQ(env.TotalDeliveries(), 16u * 5u);  // complete despite 30% loss
+  EXPECT_GT(env.Totals().retransmits, 0u);
+}
+
+TEST(ReliableForwarding, FireAndForgetModeLosesUnderSameLoss) {
+  sim::NetworkConfig net;
+  net.loss_prob = 0.3;
+  MulticastConfig mc;
+  mc.redundancy = 1;
+  mc.reliable.enabled = false;
+  ReliableEnv env(16, 4, mc, net);
+  for (int k = 0; k < 5; ++k) {
+    env.svc(0).SendToZone(ZonePath::Root(),
+                          env.MakeItem("a#" + std::to_string(k)));
+  }
+  env.dep().RunFor(40);
+  EXPECT_LT(env.TotalDeliveries(), 16u * 5u);  // the legacy mode really loses
+  const MulticastStats t = env.Totals();
+  EXPECT_EQ(t.acks_received, 0u);
+  EXPECT_EQ(t.retransmits, 0u);
+  EXPECT_EQ(env.TotalPending(), 0u);
+}
+
+TEST(ReliableForwarding, FailsOverToAlternateRepresentative) {
+  MulticastConfig mc;
+  mc.redundancy = 1;
+  ReliableEnv env(27, 3, mc);
+  // Node 5 is a member (and candidate representative) of its leaf-parent
+  // zone. With it dead, any relay that picked it times out and must fail
+  // over to a sibling representative — without redundancy, only the
+  // failover path can complete the dissemination.
+  env.dep().net().Kill(env.dep().agent(5).id());
+  env.svc(0).SendToZone(ZonePath::Root(), env.MakeItem("a#1"));
+  env.dep().RunFor(30);
+  std::size_t received = 0;
+  for (std::size_t i = 0; i < 27; ++i) {
+    if (i == 5) continue;
+    EXPECT_EQ(env.delivered(i).size(), 1u) << "leaf " << i;
+    received += env.delivered(i).size();
+  }
+  EXPECT_EQ(received, 26u);
+  EXPECT_GT(env.Totals().retransmits, 0u);
+  // Some node suspects the dead peer after the timeouts.
+  std::size_t suspected = 0;
+  for (std::size_t i = 0; i < 27; ++i) {
+    if (i == 5) continue;
+    suspected += env.svc(i).suspected_peers();
+  }
+  EXPECT_GT(suspected, 0u);
+}
+
+TEST(ReliableForwarding, PendingHopSurvivesCrashAndDeliversAfterRestart) {
+  MulticastConfig mc;
+  mc.redundancy = 1;
+  mc.reliable.give_up_after = 120.0;  // outlast the outage
+  ReliableEnv env(27, 3, mc);
+  env.dep().net().Kill(env.dep().agent(5).id());
+  env.svc(0).SendToZone(ZonePath::Root(), env.MakeItem("a#1"));
+  env.dep().RunFor(10);
+  EXPECT_EQ(env.delivered(5).size(), 0u);
+  EXPECT_GT(env.TotalPending(), 0u);  // someone still owes node 5 this item
+  env.dep().net().Restart(env.dep().agent(5).id());
+  env.dep().RunFor(20);
+  // The retransmission loop reached the restarted node; no hop left open.
+  EXPECT_EQ(env.delivered(5).size(), 1u);
+  EXPECT_EQ(env.TotalPending(), 0u);
+}
+
+TEST(ReliableForwarding, AbandonsAfterGiveUpDeadline) {
+  MulticastConfig mc;
+  mc.redundancy = 1;
+  mc.reliable.give_up_after = 15.0;
+  ReliableEnv env(27, 3, mc);
+  env.dep().net().Kill(env.dep().agent(5).id());
+  env.svc(0).SendToZone(ZonePath::Root(), env.MakeItem("a#1"));
+  env.dep().RunFor(60);
+  EXPECT_GT(env.Totals().abandoned, 0u);  // the dead leaf's hop was given up
+  EXPECT_EQ(env.TotalPending(), 0u);
+}
+
+TEST(ReliableForwarding, PendingOverflowFallsBackToFireAndForget) {
+  MulticastConfig mc;
+  mc.reliable.max_pending = 2;  // force the bound immediately
+  ReliableEnv env(16, 4, mc);
+  env.svc(0).SendToZone(ZonePath::Root(), env.MakeItem("a#1"));
+  env.dep().RunFor(30);
+  EXPECT_EQ(env.TotalDeliveries(), 16u);  // overflow degrades, not drops
+  EXPECT_GT(env.Totals().pending_overflow, 0u);
+}
+
+TEST(ReliableForwarding, DuplicateReliableHopsAreAckedAndSuppressed) {
+  MulticastConfig mc;
+  mc.redundancy = 3;  // redundant paths produce duplicate reliable hops
+  ReliableEnv env(27, 3, mc);
+  env.svc(5).SendToZone(ZonePath::Root(), env.MakeItem("a#1"));
+  env.dep().RunFor(30);
+  for (std::size_t i = 0; i < 27; ++i) {
+    EXPECT_EQ(env.delivered(i).size(), 1u) << "leaf " << i;
+  }
+  const MulticastStats t = env.Totals();
+  EXPECT_GT(t.duplicates, 0u);
+  // Duplicates were acked too: nothing is left pending, nothing retried.
+  EXPECT_EQ(env.TotalPending(), 0u);
+  EXPECT_EQ(t.retransmits, 0u);
+}
+
+}  // namespace
+}  // namespace nw::multicast

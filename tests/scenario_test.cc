@@ -157,5 +157,109 @@ INSTANTIATE_TEST_SUITE_P(Committed, ScenarioTest,
                            return std::string(info.param.name);
                          });
 
+// ---- reliable-forwarding scenarios -------------------------------------
+//
+// These scenarios run with the subscriber repair layer OFF and redundancy
+// 1: the only recovery machinery is the hop-by-hop ack/retransmit/failover
+// discipline. The faulted run must converge to exactly the same set of
+// (subscriber, item) deliveries as a fault-free run of the same
+// configuration — reliability alone closes the gap the fault opened.
+//
+// Fault windows are kept under the membership fail-timeout (6 gossip
+// rounds at 1 s): once a victim's row expires from the zone tables,
+// nothing is forwarded toward it at all, and without repair no mechanism
+// would owe it the items published while it was absent.
+
+struct ReliableScenario {
+  const char* name;
+  const char* guards;
+  const char* plan;  // nullptr = fault-free baseline
+};
+
+const ReliableScenario kReliableScenarios[] = {
+    {"RepCrashMidDissemination",
+     "failover: a likely representative of the publisher's own zone dies "
+     "mid-stream; relays retransmit, fail over to a sibling, and settle "
+     "the victim's backlog after its restart",
+     "crash@5 node=1; restart@9 node=1"},
+    {"ChildZonePartition",
+     "retransmission through a partition: one second-level zone is cut "
+     "off; pending hops back off through the outage and deliver on heal",
+     "partition@8 groups=4,5,6,7; heal@12"},
+};
+
+std::vector<testing::DeliveryRecord> RunReliableScenario(
+    const char* plan_text) {
+  SystemConfig cfg;
+  cfg.num_subscribers = 31;
+  cfg.num_publishers = 1;
+  cfg.branching = 4;
+  cfg.catalog_size = 3;
+  cfg.subjects_per_subscriber = 3;  // everyone subscribes everything
+  cfg.multicast.redundancy = 1;     // no redundant paths to lean on
+  cfg.subscriber.repair_interval = 0;  // anti-entropy repair disabled
+  cfg.gossip_period = 1.0;
+  cfg.seed = 20260806;
+  NewswireSystem sys(cfg);
+
+  testing::DeliveryRecorder recorder(sys);
+  sys.RunFor(10);
+  const double base = sys.Now();
+
+  double plan_end = 0;
+  if (plan_text != nullptr) {
+    auto plan = sim::FaultPlan::Parse(plan_text);
+    EXPECT_TRUE(plan.has_value()) << plan_text;
+    if (!plan) return {};
+    plan->ApplyTo(sys.deployment().net(), base);
+    plan_end = plan->EndTime();
+  }
+
+  for (int k = 0; k < 20; ++k) {
+    sys.deployment().sim().At(base + k, [&sys, k] {
+      sys.PublishArticle(0, sys.catalog()[std::size_t(k) % 3]);
+    });
+  }
+  // Stream, outage tail, and enough settle time for capped-backoff
+  // retransmissions to land after the heal/restart.
+  sys.RunFor(std::max(20.0, plan_end) + 60);
+
+  const auto duplicates = testing::CheckNoDuplicateDelivery(sys, recorder);
+  EXPECT_TRUE(duplicates.ok()) << duplicates.Summary();
+  const auto soundness = testing::CheckSubscriptionSoundness(sys, recorder);
+  EXPECT_TRUE(soundness.ok()) << soundness.Summary();
+  const auto membership = testing::CheckMembershipAgreement(sys);
+  EXPECT_TRUE(membership.ok()) << membership.Summary();
+  EXPECT_EQ(sys.MulticastTotals().abandoned, 0u)
+      << "no hop may be given up inside these short fault windows";
+  return recorder.trace();
+}
+
+class ReliableScenarioTest
+    : public ::testing::TestWithParam<ReliableScenario> {};
+
+TEST_P(ReliableScenarioTest, DeliverySetMatchesFaultFreeRunWithoutRepair) {
+  const ReliableScenario& scenario = GetParam();
+
+  auto plan = sim::FaultPlan::Parse(scenario.plan);
+  ASSERT_TRUE(plan.has_value()) << scenario.plan;
+  auto reparsed = sim::FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*reparsed, *plan) << "text form is unstable";
+
+  const auto faulted = RunReliableScenario(scenario.plan);
+  const auto baseline = RunReliableScenario(nullptr);
+  ASSERT_FALSE(baseline.empty());
+
+  const auto equal = testing::CheckSameDeliverySets(faulted, baseline);
+  EXPECT_TRUE(equal.ok()) << equal.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Committed, ReliableScenarioTest,
+                         ::testing::ValuesIn(kReliableScenarios),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
 }  // namespace
 }  // namespace nw::newswire

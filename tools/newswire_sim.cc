@@ -47,6 +47,8 @@ void PrintUsage() {
       "  --catalog N           distinct subjects (default 16)\n"
       "  --subs-per-node K     subscriptions per subscriber (default 3)\n"
       "  --redundancy K        representatives per forward (default 1)\n"
+      "  --reliable-forwarding hop-by-hop acks + retransmit/failover\n"
+      "                        (default true; =false for fire-and-forget)\n"
       "  --repair-interval S   cache anti-entropy period, 0=off (default 10)\n"
       "  --kill-frac F         fraction of subscribers to crash (default 0)\n"
       "  --kill-at S           crash time within the run (default 30)\n"
@@ -91,6 +93,7 @@ int main(int argc, char** argv) {
   cfg.catalog_size = std::size_t(flags.GetInt("catalog", 16));
   cfg.subjects_per_subscriber = std::size_t(flags.GetInt("subs-per-node", 3));
   cfg.multicast.redundancy = int(flags.GetInt("redundancy", 1));
+  cfg.multicast.reliable.enabled = flags.GetBool("reliable-forwarding", true);
   cfg.subscriber.repair_interval = flags.GetDouble("repair-interval", 10.0);
   cfg.subscriber.repair_window = 3600.0;
   cfg.hierarchical_subjects = flags.GetBool("hierarchical", false);
@@ -162,6 +165,9 @@ int main(int argc, char** argv) {
       100 * cfg.net.loss_prob, items_per_sec, duration,
       kill_frac > 0 ? ", with crashes" : "",
       cfg.hierarchical_subjects ? ", hierarchical subjects" : "");
+  std::printf("forwarding: %s\n", cfg.multicast.reliable.enabled
+                                      ? "reliable (ack/retransmit/failover)"
+                                      : "fire-and-forget");
 
   newswire::NewswireSystem sys(cfg);
   std::printf("tree depth %zu; converging subscriptions...\n",
@@ -217,16 +223,15 @@ int main(int argc, char** argv) {
     throttled += sys.publisher(j).stats().throttled;
     pub_bytes += double(sys.PublisherTraffic(j).bytes_sent);
   }
-  std::uint64_t repaired = 0, fp = 0, relays = 0, dups = 0, forwards = 0;
+  std::uint64_t repaired = 0, fp = 0, relays = 0;
   for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
     repaired += sys.subscriber(i).stats().repaired;
   }
   for (std::size_t i = 0; i < sys.node_count(); ++i) {
     fp += sys.pubsub_at(i).stats().false_positives;
     relays += sys.pubsub_at(i).stats().relay_discards;
-    dups += sys.multicast_at(i).stats().duplicates;
-    forwards += sys.multicast_at(i).stats().forwards;
   }
+  const multicast::MulticastStats mc = sys.MulticastTotals();
   const auto total = sys.deployment().net().TotalStats();
   const auto& lat = sys.latencies();
 
@@ -240,8 +245,16 @@ int main(int argc, char** argv) {
   report.AddRow({"anti-entropy repairs", util::TablePrinter::Int(long(repaired))});
   report.AddRow({"bloom false positives", util::TablePrinter::Int(long(fp))});
   report.AddRow({"relay-only discards", util::TablePrinter::Int(long(relays))});
-  report.AddRow({"duplicate suppressions", util::TablePrinter::Int(long(dups))});
-  report.AddRow({"forwarding sends", util::TablePrinter::Int(long(forwards))});
+  report.AddRow({"duplicate suppressions", util::TablePrinter::Int(long(mc.duplicates))});
+  report.AddRow({"forwarding sends", util::TablePrinter::Int(long(mc.forwards))});
+  if (cfg.multicast.reliable.enabled) {
+    report.AddRow({"hop acks", util::TablePrinter::Int(long(mc.acks_received))});
+    report.AddRow({"hop retransmits", util::TablePrinter::Int(long(mc.retransmits))});
+    report.AddRow({"hop failovers", util::TablePrinter::Int(long(mc.failovers))});
+    report.AddRow({"hops abandoned", util::TablePrinter::Int(long(mc.abandoned))});
+  }
+  report.AddRow({"queue overflow drops", util::TablePrinter::Int(long(mc.queue_drops))});
+  report.AddRow({"  of which urgency-shed", util::TablePrinter::Int(long(mc.queue_shed))});
   report.AddRow({"publisher egress MB", util::TablePrinter::Num(pub_bytes / 1e6, 2)});
   report.AddRow({"total network GB", util::TablePrinter::Num(double(total.bytes_sent) / 1e9, 3)});
   report.Print();

@@ -10,6 +10,7 @@
 #   tools/run_tier1.sh -L unit      # fast pre-commit loop
 #   tools/run_tier1.sh -L gossip    # wire-format equivalence (runs every
 #                                   # scenario in both full and delta mode)
+#   tools/run_tier1.sh -L reliable  # hop-level ack/retransmit/failover suite
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -52,6 +53,13 @@ if [[ "${BENCH:-0}" == "1" ]]; then
   # report must be present by name.
   if [[ ! -f "$json_dir/BENCH_gossip_bandwidth.json" ]]; then
     echo "BENCH=1: BENCH_gossip_bandwidth.json missing" >&2
+    exit 1
+  fi
+  # Likewise the reliable-forwarding bench: its exit code asserts the
+  # >=99% prompt-delivery / >=2x p99 gates under churn (EXPERIMENTS.md
+  # E15) and its report must be present by name.
+  if [[ ! -f "$json_dir/BENCH_reliable_forwarding.json" ]]; then
+    echo "BENCH=1: BENCH_reliable_forwarding.json missing" >&2
     exit 1
   fi
   echo "BENCH=1: ${#reports[@]} bench reports validated in $json_dir"
