@@ -1,0 +1,164 @@
+// E16 — Parallel simulation engine: scaling and golden-trace equivalence.
+//
+// DESIGN.md §9: the sharded conservative-window engine must (a) reproduce
+// the 1-thread run bit for bit — same EventTracer sequence hash, same MIB
+// content hash, same delivery trace — and (b) actually buy wall-clock
+// speedup on a workload big enough to amortize the window barriers. This
+// harness runs a 256-node NewsWire deployment under a compound fault plan
+// (zone partition + crashes + a loss burst) at 1 and 4 simulator threads
+// and exit-code-gates both properties:
+//
+//   * trace-hash equality between the 1-thread and 4-thread runs is ALWAYS
+//     enforced — a divergence means the parallel engine corrupted the
+//     simulation, regardless of hardware;
+//   * the >= 3x speedup gate applies only when the host actually has >= 4
+//     hardware threads; on smaller machines it is waived and reported as
+//     such in BENCH_sim_scale.json (speedup_gate_waived = 1).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_report.h"
+#include "newswire/system.h"
+#include "obs/trace.h"
+#include "sim/fault_plan.h"
+#include "testing/invariants.h"
+#include "util/table_printer.h"
+
+using namespace nw;
+
+namespace {
+
+constexpr double kWarmupSeconds = 10;
+constexpr double kPublishSeconds = 30;
+constexpr double kSettleSeconds = 90;
+constexpr double kRequiredSpeedup = 3.0;
+
+// Compound plan over the 256-node tree (numbered in the 32-node scheme
+// scaled up: branching 4, nodes 0..255): one second-level zone partitions
+// away, two unrelated nodes crash and restart, and a loss burst strains
+// the repair layer.
+constexpr const char* kPlan =
+    "partition@8 groups=64,65,66,67,68,69,70,71; heal@24; "
+    "crash@5 node=130; crash@9 node=200; restart@28 node=130; "
+    "restart@30 node=200; loss@12..20 p=0.15";
+
+struct RunResult {
+  unsigned threads = 1;
+  double wall_seconds = 0;
+  std::uint64_t event_hash = 0;     // EventTracer::SequenceHash
+  std::uint64_t delivery_hash = 0;  // DeliveryRecorder::TraceHash
+  std::uint64_t mib_hash = 0;       // replicated-state content hash
+  std::uint64_t delivered = 0;
+};
+
+RunResult Run(unsigned threads) {
+  obs::EventTracer tracer(1 << 18);
+  newswire::SystemConfig cfg;
+  cfg.num_subscribers = 255;
+  cfg.num_publishers = 1;
+  cfg.branching = 4;
+  cfg.catalog_size = 8;
+  cfg.subjects_per_subscriber = 3;
+  cfg.gossip_period = 1.0;
+  cfg.multicast.redundancy = 2;
+  cfg.subscriber.repair_interval = 10.0;
+  cfg.subscriber.repair_window = 3600.0;
+  cfg.seed = 0xE16;
+  cfg.sim_threads = threads;
+  cfg.tracer = &tracer;
+  newswire::NewswireSystem sys(cfg);
+  testing::DeliveryRecorder recorder(sys);
+
+  const auto start = std::chrono::steady_clock::now();
+  sys.RunFor(kWarmupSeconds);
+  const double base = sys.Now();
+  auto plan = sim::FaultPlan::Parse(kPlan);
+  if (!plan) {
+    std::fprintf(stderr, "bench_sim_scale: bad fault plan\n");
+    std::exit(2);
+  }
+  plan->ApplyTo(sys.deployment().net(), base);
+  for (int k = 0; k < int(kPublishSeconds); ++k) {
+    sys.deployment().sim().At(base + k, [&sys, k] {
+      sys.PublishArticle(0, sys.catalog()[std::size_t(k) % 8]);
+    });
+  }
+  sys.RunFor(kPublishSeconds + kSettleSeconds);
+  const auto stop = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.threads = threads;
+  r.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  r.event_hash = tracer.SequenceHash();
+  r.delivery_hash = recorder.TraceHash();
+  r.mib_hash = testing::MibContentHash(sys.deployment());
+  r.delivered = sys.total_delivered();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E16: parallel engine scaling, 256-node tree, plan \"%s\"\n\n", kPlan);
+
+  const RunResult seq = Run(1);
+  const RunResult par = Run(4);
+
+  const bool hashes_equal = seq.event_hash == par.event_hash &&
+                            seq.delivery_hash == par.delivery_hash &&
+                            seq.mib_hash == par.mib_hash &&
+                            seq.delivered == par.delivered;
+  const double speedup =
+      par.wall_seconds > 0 ? seq.wall_seconds / par.wall_seconds : 0;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool speedup_gate_waived = hw < 4;
+  const bool speedup_ok = speedup >= kRequiredSpeedup;
+
+  util::TablePrinter table({"threads", "wall_s", "delivered", "event_hash"});
+  for (const RunResult* r : {&seq, &par}) {
+    char wall[32], hash[32];
+    std::snprintf(wall, sizeof wall, "%.2f", r->wall_seconds);
+    std::snprintf(hash, sizeof hash, "%016llx",
+                  (unsigned long long)r->event_hash);
+    table.AddRow({std::to_string(r->threads), wall,
+                  std::to_string(r->delivered), hash});
+  }
+  table.Print();
+  std::printf("\nspeedup(4/1): %.2fx  (hardware threads: %u)\n", speedup, hw);
+  std::printf("trace equivalence: %s\n", hashes_equal ? "IDENTICAL" : "DIVERGED");
+  if (speedup_gate_waived) {
+    std::printf("speedup gate: WAIVED (host has %u < 4 hardware threads)\n",
+                hw);
+  } else {
+    std::printf("speedup gate (>= %.1fx): %s\n", kRequiredSpeedup,
+                speedup_ok ? "PASS" : "FAIL");
+  }
+
+  bench::BenchReport report(
+      "sim_scale",
+      "DESIGN.md §9: the sharded conservative-window engine is bit-identical "
+      "to the sequential engine for any fault plan and seed, and scales the "
+      "simulation across cores");
+  report.Measure("nodes", 256, "count");
+  report.Measure("wall_seconds_1_thread", seq.wall_seconds, "s");
+  report.Measure("wall_seconds_4_threads", par.wall_seconds, "s");
+  report.Measure("speedup_4_threads", speedup, "x");
+  report.Measure("hardware_threads", hw, "count");
+  report.Measure("trace_hashes_identical", hashes_equal ? 1 : 0, "bool");
+  report.Measure("speedup_gate_waived", speedup_gate_waived ? 1 : 0, "bool");
+  report.Measure("delivered", double(seq.delivered), "count");
+  report.Note(std::string("Exit-code gates: trace-hash equality between the "
+                          "1- and 4-thread runs is always enforced; the >= "
+                          "3x speedup gate applies only on hosts with >= 4 "
+                          "hardware threads and was ") +
+              (speedup_gate_waived ? "waived on this host." : "enforced."));
+  report.WriteFile();
+
+  if (!hashes_equal) return 1;
+  if (!speedup_gate_waived && !speedup_ok) return 1;
+  return 0;
+}

@@ -68,6 +68,11 @@ class Agent : public sim::Node {
   // Begins gossip; must be called after the node is added to the network.
   void Start();
 
+  // Registers this agent's metric ids eagerly. Called by Deployment right
+  // after the agent joins the network: registration mutates the shared
+  // registry and must not first happen inside a parallel-window event.
+  void WarmObservability() { (void)Metrics(); }
+
   // ---- Local MIB -------------------------------------------------------
   void SetLocalAttr(const std::string& name, AttrValue value);
   void RemoveLocalAttr(const std::string& name);

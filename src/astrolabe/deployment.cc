@@ -2,11 +2,21 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <map>
 
 namespace nw::astrolabe {
 
 namespace {
+
+unsigned ResolveSimThreads(unsigned configured) {
+  if (configured != 0) return configured;
+  if (const char* env = std::getenv("NEWSWIRE_SIM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1 && v <= 64) return static_cast<unsigned>(v);
+  }
+  return 1;
+}
 
 std::size_t DepthFor(std::size_t n, std::size_t branching) {
   std::size_t depth = 1;
@@ -76,8 +86,10 @@ Deployment::Deployment(DeploymentConfig config)
     ac.trust_root = root_authority_.public_key();
     agents_.push_back(std::make_unique<Agent>(std::move(ac)));
     net_.AddNode(agents_.back().get());
+    agents_.back()->WarmObservability();
     agents_.back()->InstallFunction(core_fn_cert_);
   }
+  sim_.SetThreads(ResolveSimThreads(config_.sim_threads));
 
   // Seed peers play the role of the statically configured "introducers"
   // the paper defers to the wider Astrolabe effort (§8: automatic zone

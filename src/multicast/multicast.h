@@ -25,8 +25,8 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "astrolabe/agent.h"
@@ -213,8 +213,11 @@ class MulticastService {
   std::map<std::uint64_t, PendingHop> pending_;  // hop id -> unacked relay
   std::uint64_t next_hop_id_ = 1;
   bool drain_scheduled_ = false;
-  // Bounded duplicate log: set + FIFO eviction order.
-  std::unordered_set<std::string> seen_;
+  // Bounded duplicate log: set + FIFO eviction order. Ordered set rather
+  // than a hash set so any future iteration is deterministic by
+  // construction (ISSUE 8 audit: hash iteration order must never leak into
+  // protocol decisions or trace output).
+  std::set<std::string> seen_;
   std::deque<std::string> seen_order_;
   std::map<std::string, sim::NodeId> affinity_;  // "open connection" per child
   std::uint64_t last_reported_bytes_ = 0;

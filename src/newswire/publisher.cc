@@ -7,7 +7,11 @@ Publisher::Publisher(astrolabe::Agent& agent, pubsub::PubSubService& pubsub,
     : agent_(agent),
       pubsub_(pubsub),
       config_(std::move(config)),
-      flow_(config_.max_items_per_sec, config_.burst) {}
+      flow_(config_.max_items_per_sec, config_.burst) {
+  // Register metric ids up front: registration mutates the shared registry
+  // and must not first happen inside a parallel-window event.
+  (void)Metrics();
+}
 
 obs::MetricsRegistry* Publisher::Metrics() {
   auto* net = agent_.attached_network();

@@ -75,6 +75,9 @@ Subscriber::Subscriber(astrolabe::Agent& agent,
     cache_ = MessageCache(config_.cache);
     if (started_) Start();
   });
+  // Register metric ids up front: registration mutates the shared registry
+  // and must not first happen inside a parallel-window event.
+  (void)Metrics();
 }
 
 void Subscriber::Start() {

@@ -1,5 +1,6 @@
 #include "newswire/system.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace nw::newswire {
@@ -16,6 +17,7 @@ astrolabe::DeploymentConfig MakeDeploymentConfig(const SystemConfig& cfg) {
   dc.gossip_wire = cfg.gossip_wire;
   dc.net = cfg.net;
   dc.seed = cfg.seed;
+  dc.sim_threads = cfg.sim_threads;
   dc.metrics = cfg.metrics;
   dc.tracer = cfg.tracer;
   return dc;
@@ -112,12 +114,14 @@ NewswireSystem::NewswireSystem(SystemConfig config)
     }
     assigned_subjects_.push_back(std::move(mine));
 
-    sub.SetNewsHandler([this](const NewsItem& item, double latency) {
-      ++delivered_count_[item.Id()];
-      ++total_delivered_;
-      latencies_.Add(latency);
+    delivery_log_.emplace_back();
+    delivery_cursor_.push_back(0);
+    sub.SetNewsHandler([this, s](const NewsItem& item, double latency) {
+      // Runs inside a simulator event, possibly on a worker shard; only
+      // this subscriber's node ever executes here, so the per-subscriber
+      // log is single-writer. Aggregation happens in FoldDeliveries().
+      delivery_log_[s].emplace_back(item.Id(), latency);
     });
-    (void)s;
   }
 
   if (config_.run_gossip) dep_.StartAll();
@@ -191,12 +195,39 @@ multicast::MulticastStats NewswireSystem::MulticastTotals() const {
   return total;
 }
 
+void NewswireSystem::FoldDeliveries() const {
+  // Fold un-aggregated log suffixes in subscriber order: deterministic
+  // regardless of how deliveries interleaved across shards at runtime.
+  for (std::size_t s = 0; s < delivery_log_.size(); ++s) {
+    const auto& log = delivery_log_[s];
+    for (std::size_t k = delivery_cursor_[s]; k < log.size(); ++k) {
+      ++delivered_count_[log[k].first];
+      ++total_delivered_;
+      latencies_.Add(log[k].second);
+    }
+    delivery_cursor_[s] = log.size();
+  }
+}
+
 std::size_t NewswireSystem::DeliveredCount(const std::string& item_id) const {
+  FoldDeliveries();
   auto it = delivered_count_.find(item_id);
   return it == delivered_count_.end() ? 0 : it->second;
 }
 
+const util::SampleStats& NewswireSystem::latencies() const {
+  FoldDeliveries();
+  return latencies_;
+}
+
+std::uint64_t NewswireSystem::total_delivered() const {
+  FoldDeliveries();
+  return total_delivered_;
+}
+
 void NewswireSystem::ResetDeliveryLog() {
+  for (auto& log : delivery_log_) log.clear();
+  std::fill(delivery_cursor_.begin(), delivery_cursor_.end(), 0);
   delivered_count_.clear();
   latencies_ = util::SampleStats();
   total_delivered_ = 0;

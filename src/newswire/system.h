@@ -47,6 +47,9 @@ struct SystemConfig {
   bool warm_start = true;  // install converged replicas directly
   bool run_gossip = true;  // start the epidemic protocol
   std::uint64_t seed = 1;
+  // Simulator worker shards (DESIGN.md §9); forwarded to the deployment.
+  // 1 = sequential engine, 0 = read NEWSWIRE_SIM_THREADS (default 1).
+  unsigned sim_threads = 0;
   // Optional observability sinks (see src/obs), forwarded to the network
   // before any node joins. Caller-owned; must outlive the system.
   obs::MetricsRegistry* metrics = nullptr;
@@ -106,8 +109,8 @@ class NewswireSystem {
 
   // ---- delivery metrics --------------------------------------------------
   std::size_t DeliveredCount(const std::string& item_id) const;
-  const util::SampleStats& latencies() const { return latencies_; }
-  std::uint64_t total_delivered() const { return total_delivered_; }
+  const util::SampleStats& latencies() const;
+  std::uint64_t total_delivered() const;
   void ResetDeliveryLog();
 
   // Publisher-side network cost (egress bytes/messages of publisher j).
@@ -132,9 +135,22 @@ class NewswireSystem {
   std::vector<std::vector<std::string>> assigned_subjects_;
 
   std::map<std::string, std::size_t> expected_by_subject_;
-  std::map<std::string, std::size_t> delivered_count_;
-  util::SampleStats latencies_;
-  std::uint64_t total_delivered_ = 0;
+
+  // Delivery accounting. Subscriber delivery handlers run inside simulator
+  // events, which may execute on different worker shards concurrently
+  // (DESIGN.md §9), so each subscriber appends to its own log — a
+  // single-writer structure — and the aggregate views below are folded
+  // lazily, in subscriber order, when an accessor is called (always outside
+  // a parallel window). Folding in subscriber order is also what makes the
+  // aggregates identical across engine modes: each subscriber's own log is
+  // bit-identical regardless of thread count.
+  void FoldDeliveries() const;
+  mutable std::vector<std::vector<std::pair<std::string, double>>>
+      delivery_log_;                               // by subscriber idx
+  mutable std::vector<std::size_t> delivery_cursor_;  // folded prefix length
+  mutable std::map<std::string, std::size_t> delivered_count_;
+  mutable util::SampleStats latencies_;
+  mutable std::uint64_t total_delivered_ = 0;
 };
 
 }  // namespace nw::newswire

@@ -92,6 +92,8 @@ MetricsRegistry::MetricId MetricsRegistry::Histogram(
   slots.counts.assign((slots.bounds.size() + 1) * num_nodes_, 0);
   slots.count_per_node.assign(num_nodes_, 0);
   slots.sum_per_node.assign(num_nodes_, 0.0);
+  slots.min_per_node.assign(num_nodes_, 0.0);
+  slots.max_per_node.assign(num_nodes_, 0.0);
   histograms_.push_back(std::move(slots));
   by_name_[name] = id;
   return id;
@@ -110,6 +112,8 @@ void MetricsRegistry::EnsureNodes(std::size_t count) {
     h.counts.resize((h.bounds.size() + 1) * count, 0);
     h.count_per_node.resize(count, 0);
     h.sum_per_node.resize(count, 0.0);
+    h.min_per_node.resize(count, 0.0);
+    h.max_per_node.resize(count, 0.0);
   }
   num_nodes_ = count;
 }
@@ -145,11 +149,14 @@ void MetricsRegistry::Observe(MetricId id, std::uint32_t node,
     }
   }
   h.counts[node * (h.bounds.size() + 1) + bucket] += 1;
+  if (h.count_per_node[node] == 0 || sample < h.min_per_node[node]) {
+    h.min_per_node[node] = sample;
+  }
+  if (h.count_per_node[node] == 0 || sample > h.max_per_node[node]) {
+    h.max_per_node[node] = sample;
+  }
   h.count_per_node[node] += 1;
   h.sum_per_node[node] += sample;
-  if (!h.any || sample < h.min) h.min = sample;
-  if (!h.any || sample > h.max) h.max = sample;
-  h.any = true;
 }
 
 std::uint64_t MetricsRegistry::CounterValue(MetricId id,
@@ -214,15 +221,23 @@ MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
         const HistogramSlots& h = histograms_[m.slot];
         out.histogram.bounds = h.bounds;
         out.histogram.counts.assign(h.bounds.size() + 1, 0);
+        bool any = false;
         for (std::size_t node = 0; node < num_nodes_; ++node) {
           for (std::size_t b = 0; b <= h.bounds.size(); ++b) {
             out.histogram.counts[b] += h.counts[node * (h.bounds.size() + 1) + b];
           }
           out.histogram.count += h.count_per_node[node];
           out.histogram.sum += h.sum_per_node[node];
+          if (h.count_per_node[node] == 0) continue;
+          if (!any || h.min_per_node[node] < out.histogram.min) {
+            out.histogram.min = h.min_per_node[node];
+          }
+          if (!any || h.max_per_node[node] > out.histogram.max) {
+            out.histogram.max = h.max_per_node[node];
+          }
+          any = true;
         }
-        out.histogram.min = h.any ? h.min : 0.0;
-        out.histogram.max = h.any ? h.max : 0.0;
+        if (!any) out.histogram.min = out.histogram.max = 0.0;
         break;
       }
     }
@@ -335,8 +350,8 @@ void MetricsRegistry::Reset() {
     std::fill(h.counts.begin(), h.counts.end(), 0);
     std::fill(h.count_per_node.begin(), h.count_per_node.end(), 0);
     std::fill(h.sum_per_node.begin(), h.sum_per_node.end(), 0.0);
-    h.min = h.max = 0.0;
-    h.any = false;
+    std::fill(h.min_per_node.begin(), h.min_per_node.end(), 0.0);
+    std::fill(h.max_per_node.begin(), h.max_per_node.end(), 0.0);
   }
 }
 

@@ -96,14 +96,16 @@ class MetricsRegistry {
     MetricKind kind;
     std::uint32_t slot;  // index into the kind-specific storage below
   };
+  // All slots are per-node so concurrent shards never write the same
+  // word (each simulated node executes on exactly one shard); min/max are
+  // folded across nodes at Snap() time.
   struct HistogramSlots {
     std::vector<double> bounds;
     std::vector<std::uint64_t> counts;  // node-major, (bounds+1) per node
     std::vector<std::uint64_t> count_per_node;
     std::vector<double> sum_per_node;
-    double min = 0;
-    double max = 0;
-    bool any = false;
+    std::vector<double> min_per_node;
+    std::vector<double> max_per_node;
   };
 
   std::vector<Metric> metrics_;

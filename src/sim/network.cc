@@ -7,6 +7,11 @@
 
 namespace nw::sim {
 
+Network::Network(Simulator& sim, NetworkConfig config)
+    : sim_(sim), config_(config) {
+  sim_.SetLookahead(config_.base_latency);
+}
+
 NodeId Network::AddNode(Node* node) {
   assert(node != nullptr);
   const NodeId id = static_cast<NodeId>(nodes_.size());
@@ -17,9 +22,12 @@ NodeId Network::AddNode(Node* node) {
   uplink_rate_.push_back(config_.uplink_bytes_per_sec);
   uplink_free_at_.push_back(0.0);
   stats_.emplace_back();
+  link_rng_.push_back(sim_.Rng().Fork(0x4c696e6bu /*'Link'*/ + id));
+  by_type_per_node_.emplace_back();
   node->net_ = this;
   node->id_ = id;
   node->rng_ = sim_.Rng().Fork(0x4e6f6465u /*'Node'*/ + id);
+  sim_.EnsureContexts(static_cast<std::uint32_t>(nodes_.size()));
   if (metrics_ != nullptr) metrics_->EnsureNodes(nodes_.size());
   return id;
 }
@@ -50,7 +58,7 @@ void Network::Send(Message msg) {
   const std::size_t wire = msg.wire_bytes + config_.per_message_overhead;
   stats_[from].messages_sent += 1;
   stats_[from].bytes_sent += wire;
-  TypeStats& ts = by_type_[msg.type];
+  TypeStats& ts = by_type_per_node_[from][msg.type];
   ts.messages += 1;
   ts.bytes += wire;
   if (metrics_ != nullptr) {
@@ -82,14 +90,16 @@ void Network::Send(Message msg) {
   }
 
   const double jitter =
-      config_.base_latency * config_.jitter_frac * sim_.Rng().NextDouble();
+      config_.base_latency * config_.jitter_frac * link_rng_[from].NextDouble();
   const Time arrival = departure + config_.base_latency + jitter;
 
-  const bool lost = sim_.Rng().NextBool(config_.loss_prob);
+  const bool lost = link_rng_[from].NextBool(config_.loss_prob);
   const std::uint32_t to_inc = incarnation_[to];
 
-  sim_.At(arrival, [this, msg = std::move(msg), wire, lost, to, from,
-                    to_inc]() mutable {
+  // The delivery executes in the receiver's context/shard; the base
+  // latency keeps `arrival` beyond the conservative lookahead window.
+  sim_.AtNode(to, arrival, [this, msg = std::move(msg), wire, lost, to, from,
+                            to_inc]() mutable {
     const bool dead = !alive_[to];
     const bool stale = !dead && incarnation_[to] != to_inc;
     const bool partitioned =
@@ -173,15 +183,30 @@ TrafficStats Network::TotalStats() const {
 
 void Network::ResetStats() {
   std::fill(stats_.begin(), stats_.end(), TrafficStats{});
-  by_type_.clear();
+  for (auto& per : by_type_per_node_) per.clear();
+  by_type_merged_.clear();
+}
+
+const std::map<std::string, Network::TypeStats>& Network::StatsByType() const {
+  by_type_merged_.clear();
+  for (const auto& per : by_type_per_node_) {
+    for (const auto& [type, ts] : per) {
+      TypeStats& total = by_type_merged_[type];
+      total.messages += ts.messages;
+      total.bytes += ts.bytes;
+    }
+  }
+  return by_type_merged_;
 }
 
 Network::TypeStats Network::StatsForTypePrefix(const std::string& prefix) const {
   TypeStats total;
-  for (const auto& [type, ts] : by_type_) {
-    if (type.compare(0, prefix.size(), prefix) == 0) {
-      total.messages += ts.messages;
-      total.bytes += ts.bytes;
+  for (const auto& per : by_type_per_node_) {
+    for (const auto& [type, ts] : per) {
+      if (type.compare(0, prefix.size(), prefix) == 0) {
+        total.messages += ts.messages;
+        total.bytes += ts.bytes;
+      }
     }
   }
   return total;

@@ -9,7 +9,6 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -39,8 +38,10 @@ struct TrafficStats {
 
 class Network {
  public:
-  Network(Simulator& sim, NetworkConfig config)
-      : sim_(sim), config_(config) {}
+  // Registers the network's base latency as the simulator's conservative
+  // lookahead: no message between nodes arrives sooner, so shards may
+  // advance that far independently (DESIGN.md §9).
+  Network(Simulator& sim, NetworkConfig config);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -87,9 +88,7 @@ class Network {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
   };
-  const std::map<std::string, TypeStats>& StatsByType() const noexcept {
-    return by_type_;
-  }
+  const std::map<std::string, TypeStats>& StatsByType() const;
   // Sum over every type whose name starts with `prefix`.
   TypeStats StatsForTypePrefix(const std::string& prefix) const;
 
@@ -101,7 +100,12 @@ class Network {
   // network. Layers above reach them through node.network().metrics() etc.
   void SetMetrics(obs::MetricsRegistry* metrics);
   obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
-  void SetTracer(obs::EventTracer* tracer) noexcept { tracer_ = tracer; }
+  // Also registers the tracer with the simulator so parallel windows can
+  // stage and merge its records deterministically; install before running.
+  void SetTracer(obs::EventTracer* tracer) noexcept {
+    tracer_ = tracer;
+    sim_.SetTracer(tracer);
+  }
   obs::EventTracer* tracer() const noexcept { return tracer_; }
 
  private:
@@ -114,7 +118,14 @@ class Network {
   std::vector<double> uplink_rate_;  // bytes/sec, default config value
   std::vector<Time> uplink_free_at_;
   std::vector<TrafficStats> stats_;
-  std::map<std::string, TypeStats> by_type_;
+  // Per-sender RNG streams for jitter/loss draws: forked per node at
+  // AddNode so stochastic outcomes depend only on that sender's own
+  // (deterministic) send sequence, never on cross-node interleaving.
+  std::vector<util::DeterministicRng> link_rng_;
+  // Per-sender type accounting (single-writer under sharded execution),
+  // folded into `by_type_merged_` on demand.
+  std::vector<std::map<std::string, TypeStats>> by_type_per_node_;
+  mutable std::map<std::string, TypeStats> by_type_merged_;
 
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::EventTracer* tracer_ = nullptr;

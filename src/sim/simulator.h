@@ -1,87 +1,153 @@
-// Deterministic discrete-event simulator core: a clock and an event queue.
+// Deterministic discrete-event simulator core: a clock and an event queue,
+// optionally sharded across worker threads (DESIGN.md §9).
 //
-// All protocol layers run on top of this. Events scheduled at equal times
-// fire in scheduling order (a monotone sequence number breaks ties), which
-// together with the seeded RNG makes whole-system runs exactly replayable.
+// Every event carries an engine-independent ordering key
+// (time, gen, seq, src):
+//   time  simulated seconds of the event
+//   src   the execution context that *scheduled* it: the node whose event
+//         was running at scheduling time, or kGlobalContext for harness /
+//         fault-plan / setup code
+//   seq   a per-src monotone counter, advanced only by that context's own
+//         (deterministic, single-threaded) execution
+//   gen   same-time generation: events scheduled at exactly the executing
+//         event's time sort one generation later, so the sequential pop
+//         order of the heap equals the global lexicographic key order
+//
+// Because the key never depends on cross-context interleaving, a run can be
+// partitioned into per-node shards advanced in conservative time windows
+// (lookahead = minimum cross-shard message latency) and still execute —
+// and trace — every event in exactly the order the 1-thread engine would.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "util/rng.h"
+
+namespace nw::obs {
+class EventTracer;
+}  // namespace nw::obs
 
 namespace nw::sim {
 
 using Time = double;  // seconds of simulated time
 
+// Execution-context id used for events scheduled outside any node's event
+// (test harness, fault plans, workload generators, setup code).
+inline constexpr std::uint32_t kGlobalContext = 0xffffffffu;
+
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  Time Now() const noexcept { return now_; }
+  // Current simulated time. Inside an event this is the event's time (in
+  // parallel windows each shard carries its own clock).
+  Time Now() const noexcept;
 
-  // Schedules fn at absolute time t (>= Now()).
-  void At(Time t, std::function<void()> fn) {
-    assert(t >= now_);
-    queue_.push(Event{t, next_seq_++, std::move(fn)});
-  }
+  // Schedules fn at absolute time t (>= Now()). The event executes in the
+  // scheduling context's shard: a node's timer stays with that node, and
+  // harness code schedules global events that act as window barriers.
+  void At(Time t, std::function<void()> fn);
 
   // Schedules fn after a relative delay (>= 0).
-  void After(Time delay, std::function<void()> fn) {
-    assert(delay >= 0);
-    At(now_ + delay, std::move(fn));
-  }
+  void After(Time delay, std::function<void()> fn);
 
-  // Runs events until the queue empties or the clock would pass `t`;
-  // afterwards Now() == t unless the queue drained later than t.
-  void RunUntil(Time t) {
-    while (!queue_.empty() && queue_.top().time <= t) {
-      Step();
-    }
-    if (now_ < t) now_ = t;
-  }
+  // Schedules fn at absolute time t to execute in `owner`'s context/shard.
+  // Used by the network for deliveries addressed to `owner`; requires
+  // t >= Now() + Lookahead() when `owner` lives in another shard (the
+  // conservative-window safety condition — network latency provides it).
+  void AtNode(std::uint32_t owner, Time t, std::function<void()> fn);
+
+  // ---- parallel engine configuration ------------------------------------
+  // Number of worker shards (1 = classic sequential engine). May be called
+  // between runs; pending events are re-routed. Results are bit-identical
+  // for any thread count.
+  void SetThreads(unsigned n);
+  unsigned Threads() const noexcept { return threads_; }
+
+  // Minimum cross-shard message latency (the conservative lookahead).
+  // Installed by the Network from its base latency; a lookahead of 0
+  // disables parallel execution (the engine falls back to sequential).
+  void SetLookahead(Time w) noexcept { lookahead_ = w; }
+  Time Lookahead() const noexcept { return lookahead_; }
+
+  // Pre-sizes the per-context sequence counters; every node id used with
+  // AtNode or as a scheduling context must be registered (Network::AddNode
+  // does this). Setup-time only.
+  void EnsureContexts(std::uint32_t count);
+
+  // Tracer whose staged records are merged at window barriers. Installed by
+  // Network::SetTracer; must happen before the run starts.
+  void SetTracer(obs::EventTracer* tracer) noexcept { tracer_ = tracer; }
+
+  // ---- run loop ----------------------------------------------------------
+  // Runs events until the queue empties or the clock would pass `t`
+  // (events at exactly t fire); afterwards Now() == t unless the queue
+  // drained later than t.
+  void RunUntil(Time t);
 
   // Runs until no events remain. Only safe when no recurring timers exist.
-  void RunUntilIdle() {
-    while (!queue_.empty()) Step();
-  }
+  void RunUntilIdle();
 
-  // Executes the single earliest event. Returns false if none remain.
-  bool Step() {
-    if (queue_.empty()) return false;
-    Event ev = queue_.top();
-    queue_.pop();
-    assert(ev.time >= now_);
-    now_ = ev.time;
-    ev.fn();
-    return true;
-  }
+  // Executes the single earliest event (sequentially, regardless of thread
+  // configuration). Returns false if none remain.
+  bool Step();
 
-  std::size_t PendingEvents() const noexcept { return queue_.size(); }
+  std::size_t PendingEvents() const noexcept;
 
   util::DeterministicRng& Rng() noexcept { return rng_; }
 
  private:
   struct Event {
-    Time time;
-    std::uint64_t seq;
+    Time time = 0;
+    std::uint32_t gen = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t src = kGlobalContext;
+    std::uint32_t owner = kGlobalContext;
     std::function<void()> fn;
-    bool operator>(const Event& other) const noexcept {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
   };
+  // Binary min-heap by (time, gen, seq, src); pop moves, never copies.
+  struct Queue {
+    std::vector<Event> v;
+    void push(Event e);
+    Event pop();
+    const Event& top() const noexcept { return v.front(); }
+    bool empty() const noexcept { return v.empty(); }
+    std::size_t size() const noexcept { return v.size(); }
+  };
+  struct Pool;
+
+  std::uint64_t NextSeq(std::uint32_t src);
+  void Push(std::uint32_t owner, Time t, std::function<void()> fn);
+  void RouteDirect(Event e);
+  Queue* MinQueue();
+  void ExecSequential(Event e);
+  void RunShardWindow(unsigned shard, Time hi, bool inclusive);
+  void RunSequential(Time t, bool bounded);
+  void RunParallel(Time t, bool bounded);
+  void RunCore(Time t, bool bounded);
 
   Time now_ = 0;
-  std::uint64_t next_seq_ = 0;
   util::DeterministicRng rng_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::uint64_t global_seq_ = 0;
+  std::vector<std::uint64_t> ctx_seq_;  // per-node scheduling counters
+
+  unsigned threads_ = 1;
+  Time lookahead_ = 0;
+  Queue global_q_;
+  std::vector<Queue> shard_q_;               // size == max(threads_, 1)
+  std::vector<std::vector<Event>> outbox_;   // per-producing-shard, drained
+                                             // at window barriers
+  obs::EventTracer* tracer_ = nullptr;
+  std::unique_ptr<Pool> pool_;
+
+  friend struct Pool;
 };
 
 }  // namespace nw::sim

@@ -61,7 +61,8 @@ std::string InvariantReport::Summary() const {
   return out;
 }
 
-DeliveryRecorder::DeliveryRecorder(newswire::NewswireSystem& sys) : sys_(sys) {
+DeliveryRecorder::DeliveryRecorder(newswire::NewswireSystem& sys)
+    : sys_(sys), per_sub_(sys.subscriber_count()) {
   for (std::size_t i = 0; i < sys_.subscriber_count(); ++i) {
     sys_.subscriber(i).AddNewsHandler(
         [this, i](const newswire::NewsItem& item, double) {
@@ -73,15 +74,39 @@ DeliveryRecorder::DeliveryRecorder(newswire::NewswireSystem& sys) : sys_(sys) {
           rec.item_id = item.Id();
           rec.subject = item.subject;
           rec.scope = item.scope;
-          trace_.push_back(std::move(rec));
+          // Only subscriber i's own events run this handler, so the
+          // per-subscriber buffer stays single-writer under the parallel
+          // engine; trace() merges the buffers canonically.
+          per_sub_[i].push_back(std::move(rec));
         });
   }
+}
+
+const std::vector<DeliveryRecord>& DeliveryRecorder::trace() const {
+  std::size_t total = 0;
+  for (const auto& buf : per_sub_) total += buf.size();
+  if (trace_.size() != total) {
+    // Canonical merge: (time, subscriber, per-subscriber arrival order).
+    // Each buffer is time-ordered on its own, so a stable sort keyed on
+    // (time, subscriber) preserves arrival order within a subscriber.
+    trace_.clear();
+    trace_.reserve(total);
+    for (const auto& buf : per_sub_) {
+      trace_.insert(trace_.end(), buf.begin(), buf.end());
+    }
+    std::stable_sort(trace_.begin(), trace_.end(),
+                     [](const DeliveryRecord& a, const DeliveryRecord& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.subscriber < b.subscriber;
+                     });
+  }
+  return trace_;
 }
 
 std::uint64_t DeliveryRecorder::TraceHash() const {
   std::uint64_t h = 0xcbf29ce484222325ull;
   auto mix = [&h](std::uint64_t v) { h = util::HashCombine(h, v); };
-  for (const DeliveryRecord& rec : trace_) {
+  for (const DeliveryRecord& rec : trace()) {
     std::uint64_t time_bits;
     static_assert(sizeof time_bits == sizeof rec.time);
     __builtin_memcpy(&time_bits, &rec.time, sizeof time_bits);

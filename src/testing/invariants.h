@@ -57,6 +57,13 @@ struct DeliveryRecord {
 // Installs an accounting handler on every subscriber of `sys` and records
 // the full delivery trace. Construct before running the scenario and keep
 // alive for the lifetime of the system.
+//
+// Handlers run inside simulator events, which may execute on different
+// worker shards concurrently under the parallel engine (DESIGN.md §9), so
+// each subscriber appends to its own single-writer buffer. trace() merges
+// the buffers canonically by (time, subscriber, arrival order), which is
+// identical for every thread count — the merged trace and TraceHash() are
+// engine-mode-independent.
 class DeliveryRecorder {
  public:
   explicit DeliveryRecorder(newswire::NewswireSystem& sys);
@@ -64,15 +71,19 @@ class DeliveryRecorder {
   DeliveryRecorder(const DeliveryRecorder&) = delete;
   DeliveryRecorder& operator=(const DeliveryRecorder&) = delete;
 
-  const std::vector<DeliveryRecord>& trace() const noexcept { return trace_; }
+  // Canonically merged trace; call only outside RunFor (between windows).
+  const std::vector<DeliveryRecord>& trace() const;
 
   // Order-sensitive digest of the whole trace; two runs of the same
-  // (config, seed, fault plan) must produce equal hashes.
+  // (config, seed, fault plan) must produce equal hashes — at any
+  // --sim-threads setting.
   std::uint64_t TraceHash() const;
 
  private:
   newswire::NewswireSystem& sys_;
-  std::vector<DeliveryRecord> trace_;
+  // Per-subscriber append-only buffers (single writer: that node's events).
+  std::vector<std::vector<DeliveryRecord>> per_sub_;
+  mutable std::vector<DeliveryRecord> trace_;  // cached canonical merge
 };
 
 // ---- published-item bookkeeping ----------------------------------------

@@ -201,6 +201,16 @@ TEST(AgentGossip, SurvivesMessageLoss) {
   Deployment d(cfg);
   d.StartAll();
   d.RunFor(200);
+  // Under sustained loss a membership row can legitimately be mid-refresh
+  // at any single instant: give the lossy steady state a bounded window to
+  // show full membership rather than pinning one unlucky sample.
+  auto all_see_full = [&] {
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (RootMembers(d.agent(i)) != 16) return false;
+    }
+    return true;
+  };
+  for (int extra = 0; extra < 20 && !all_see_full(); ++extra) d.RunFor(10);
   for (std::size_t i = 0; i < d.size(); ++i) {
     EXPECT_EQ(RootMembers(d.agent(i)), 16) << "agent " << i;
   }

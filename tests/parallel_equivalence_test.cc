@@ -1,0 +1,167 @@
+// Golden-trace equivalence suite for the parallel simulation engine
+// (DESIGN.md §9): every committed fault-plan scenario from
+// tests/scenarios.h is replayed at 1, 2, and 4 simulator threads, and the
+// runs must be bit-identical — the same EventTracer sequence hash, the
+// same MIB content hash, and the same delivery trace record for record.
+//
+// The 1-thread run uses the classic sequential engine; any divergence at
+// 2 or 4 threads means the conservative-window machinery (event keys,
+// per-shard queues, barrier merge, staged tracing) leaked scheduling
+// nondeterminism into the simulation, which would silently invalidate
+// every replay-based regression test in the repo.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "newswire/system.h"
+#include "obs/trace.h"
+#include "scenarios.h"
+#include "sim/fault_plan.h"
+#include "testing/invariants.h"
+
+namespace nw::newswire {
+namespace {
+
+using testing::kReliableScenarios;
+using testing::kScenarios;
+using testing::ReliableScenario;
+using testing::Scenario;
+
+constexpr unsigned kThreadCounts[] = {1, 2, 4};
+
+struct RunResult {
+  unsigned threads = 1;
+  std::uint64_t trace_hash = 0;      // EventTracer::SequenceHash
+  std::uint64_t mib_hash = 0;        // MibContentHash after settle
+  std::uint64_t delivery_hash = 0;   // DeliveryRecorder::TraceHash
+  std::uint64_t events_recorded = 0; // total Record() calls that passed
+  std::vector<testing::DeliveryRecord> deliveries;
+};
+
+// Replays one committed scenario exactly as scenario_test.cc does, at the
+// given thread count, and digests everything observable about the run.
+RunResult RunCommittedScenario(const Scenario& scenario, unsigned threads) {
+  auto plan = sim::FaultPlan::Parse(scenario.plan);
+  EXPECT_TRUE(plan.has_value()) << scenario.plan;
+
+  obs::EventTracer tracer(1 << 18);
+  SystemConfig cfg = testing::CommittedScenarioConfig();
+  cfg.sim_threads = threads;
+  cfg.tracer = &tracer;
+  NewswireSystem sys(cfg);
+
+  testing::DeliveryRecorder recorder(sys);
+  sys.RunFor(10);
+  const double base = sys.Now();
+  plan->ApplyTo(sys.deployment().net(), base);
+
+  const astrolabe::ZonePath zone = sys.publisher_agent(0).path().Prefix(1);
+  for (int k = 0; k < 30; ++k) {
+    sys.deployment().sim().At(base + k, [&sys, &zone, &scenario, k] {
+      const bool scoped = scenario.scoped_publish && k % 2 == 1;
+      sys.PublishArticle(0, sys.catalog()[std::size_t(k) % 3],
+                         scoped ? zone : astrolabe::ZonePath::Root());
+    });
+  }
+  sys.RunFor(std::max(30.0, plan->EndTime()) + 120);
+
+  RunResult r;
+  r.threads = threads;
+  r.trace_hash = tracer.SequenceHash();
+  r.mib_hash = testing::MibContentHash(sys.deployment());
+  r.delivery_hash = recorder.TraceHash();
+  r.events_recorded = tracer.total_recorded();
+  r.deliveries = recorder.trace();
+  return r;
+}
+
+RunResult RunReliableScenario(const ReliableScenario& scenario,
+                              unsigned threads) {
+  obs::EventTracer tracer(1 << 18);
+  SystemConfig cfg = testing::ReliableScenarioConfig();
+  cfg.sim_threads = threads;
+  cfg.tracer = &tracer;
+  NewswireSystem sys(cfg);
+
+  testing::DeliveryRecorder recorder(sys);
+  sys.RunFor(10);
+  const double base = sys.Now();
+
+  auto plan = sim::FaultPlan::Parse(scenario.plan);
+  EXPECT_TRUE(plan.has_value()) << scenario.plan;
+  plan->ApplyTo(sys.deployment().net(), base);
+
+  for (int k = 0; k < 20; ++k) {
+    sys.deployment().sim().At(base + k, [&sys, k] {
+      sys.PublishArticle(0, sys.catalog()[std::size_t(k) % 3]);
+    });
+  }
+  sys.RunFor(std::max(20.0, plan->EndTime()) + 60);
+
+  RunResult r;
+  r.threads = threads;
+  r.trace_hash = tracer.SequenceHash();
+  r.mib_hash = testing::MibContentHash(sys.deployment());
+  r.delivery_hash = recorder.TraceHash();
+  r.events_recorded = tracer.total_recorded();
+  r.deliveries = recorder.trace();
+  return r;
+}
+
+void ExpectIdenticalRuns(const RunResult& base, const RunResult& other) {
+  SCOPED_TRACE("threads=" + std::to_string(other.threads) + " vs " +
+               std::to_string(base.threads));
+  // Record-by-record first: on divergence this names the first differing
+  // delivery instead of just two unequal hashes.
+  const auto replay =
+      testing::CheckReplayIdentical(base.deliveries, other.deliveries);
+  EXPECT_TRUE(replay.ok()) << replay.Summary();
+  EXPECT_EQ(base.delivery_hash, other.delivery_hash);
+  EXPECT_EQ(base.events_recorded, other.events_recorded);
+  EXPECT_EQ(base.trace_hash, other.trace_hash);
+  EXPECT_EQ(base.mib_hash, other.mib_hash);
+}
+
+class ParallelScenarioEquivalence : public ::testing::TestWithParam<Scenario> {
+};
+
+TEST_P(ParallelScenarioEquivalence, BitIdenticalAcrossThreadCounts) {
+  const Scenario& scenario = GetParam();
+  const RunResult base = RunCommittedScenario(scenario, kThreadCounts[0]);
+  EXPECT_GT(base.deliveries.size(), 0u);
+  EXPECT_GT(base.events_recorded, 0u);
+  for (std::size_t i = 1; i < std::size(kThreadCounts); ++i) {
+    ExpectIdenticalRuns(base,
+                        RunCommittedScenario(scenario, kThreadCounts[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Committed, ParallelScenarioEquivalence,
+                         ::testing::ValuesIn(kScenarios),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+class ParallelReliableEquivalence
+    : public ::testing::TestWithParam<ReliableScenario> {};
+
+TEST_P(ParallelReliableEquivalence, BitIdenticalAcrossThreadCounts) {
+  const ReliableScenario& scenario = GetParam();
+  const RunResult base = RunReliableScenario(scenario, kThreadCounts[0]);
+  EXPECT_GT(base.deliveries.size(), 0u);
+  for (std::size_t i = 1; i < std::size(kThreadCounts); ++i) {
+    ExpectIdenticalRuns(base,
+                        RunReliableScenario(scenario, kThreadCounts[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Committed, ParallelReliableEquivalence,
+                         ::testing::ValuesIn(kReliableScenarios),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace nw::newswire

@@ -4,6 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "astrolabe/deployment.h"
 #include "multicast/multicast.h"
@@ -105,13 +109,15 @@ TEST(SuspicionCache, LiveCountPrunesExpiredEntries) {
 class ReliableEnv {
  public:
   ReliableEnv(std::size_t n, std::size_t branching, MulticastConfig mc = {},
-              sim::NetworkConfig net = {}, std::uint64_t seed = 1)
+              sim::NetworkConfig net = {}, std::uint64_t seed = 1,
+              unsigned sim_threads = 1)
       : dep_([&] {
           DeploymentConfig cfg;
           cfg.num_agents = n;
           cfg.branching = branching;
           cfg.net = net;
           cfg.seed = seed;
+          cfg.sim_threads = sim_threads;
           return cfg;
         }()) {
     for (std::size_t i = 0; i < dep_.size(); ++i) {
@@ -294,6 +300,87 @@ TEST(ReliableForwarding, DuplicateReliableHopsAreAckedAndSuppressed) {
   // Duplicates were acked too: nothing is left pending, nothing retried.
   EXPECT_EQ(env.TotalPending(), 0u);
   EXPECT_EQ(t.retransmits, 0u);
+}
+
+// ---- determinism across engine modes (DESIGN.md §9) --------------------
+//
+// BackoffPolicy and SuspicionCache feed retransmission timing and
+// representative choice; any seed- or schedule-dependence here would make
+// parallel replays diverge from sequential ones. The unit tests pin the
+// pure primitives; the integration test replays a lossy reliable run under
+// both engines and requires identical decisions end to end.
+
+TEST(BackoffPolicy, JitterSequenceIdenticalForIdenticalSeeds) {
+  ReliableConfig cfg;
+  cfg.ack_timeout = 0.25;
+  cfg.jitter_frac = 0.2;
+  BackoffPolicy policy(cfg);
+  util::DeterministicRng a(20260808), b(20260808), c(77);
+  bool diverged_from_c = false;
+  for (int attempt = 1; attempt <= 64; ++attempt) {
+    const double da = policy.DelayFor(attempt, a);
+    EXPECT_DOUBLE_EQ(da, policy.DelayFor(attempt, b))
+        << "same seed must give the same jitter at attempt " << attempt;
+    if (da != policy.DelayFor(attempt, c)) diverged_from_c = true;
+  }
+  EXPECT_TRUE(diverged_from_c) << "jitter ignores the injected rng";
+}
+
+TEST(SuspicionCache, TtlDecisionsDeterministicUnderSeededChurn) {
+  // Replay a seeded churn of suspect/clear/probe operations twice; every
+  // observable decision (IsSuspected, LiveCount) must match step for step.
+  auto run = [](std::uint64_t seed) {
+    SuspicionCache cache(10.0);
+    util::DeterministicRng rng(seed);
+    std::vector<std::uint64_t> observations;
+    double now = 0;
+    for (int step = 0; step < 500; ++step) {
+      now += rng.NextDouble() * 3.0;
+      const sim::NodeId peer = sim::NodeId(rng.NextBelow(8));
+      switch (rng.NextBelow(3)) {
+        case 0: cache.Suspect(peer, now); break;
+        case 1: cache.Clear(peer); break;
+        default: break;
+      }
+      observations.push_back(cache.IsSuspected(peer, now) ? 1 : 0);
+      observations.push_back(cache.LiveCount(now));
+    }
+    return observations;
+  };
+  EXPECT_EQ(run(20260808), run(20260808));
+  EXPECT_NE(run(20260808), run(77)) << "churn ignores the seed";
+}
+
+TEST(ReliableForwarding, LossyRunBitIdenticalAcrossEngineModes) {
+  // A retransmission-heavy run (30% loss, no redundancy) exercises the
+  // full backoff/suspicion/failover machinery. Per-node delivery logs and
+  // the hop-level counters must be identical at every thread count.
+  auto run = [](unsigned threads) {
+    sim::NetworkConfig net;
+    net.loss_prob = 0.3;
+    MulticastConfig mc;
+    mc.redundancy = 1;
+    ReliableEnv env(16, 4, mc, net, /*seed=*/20260808, threads);
+    for (int k = 0; k < 5; ++k) {
+      env.svc(0).SendToZone(ZonePath::Root(),
+                            env.MakeItem("a#" + std::to_string(k)));
+    }
+    env.dep().RunFor(40);
+    std::vector<std::vector<std::string>> logs;
+    for (std::size_t i = 0; i < env.dep().size(); ++i) {
+      logs.push_back(env.delivered(i));
+    }
+    const MulticastStats t = env.Totals();
+    return std::pair(logs, std::tuple(t.retransmits, t.failovers,
+                                      t.acks_received, t.duplicates));
+  };
+  const auto sequential = run(1);
+  EXPECT_GT(std::get<0>(sequential.second), 0u) << "run exercised no backoff";
+  for (unsigned threads : {2u, 4u}) {
+    const auto parallel = run(threads);
+    EXPECT_EQ(sequential.first, parallel.first) << "threads=" << threads;
+    EXPECT_EQ(sequential.second, parallel.second) << "threads=" << threads;
+  }
 }
 
 }  // namespace
