@@ -43,6 +43,22 @@ std::optional<GossipWireMode> GossipWireModeFromName(std::string_view name) {
   return std::nullopt;
 }
 
+const char* DetectorModeName(DetectorMode mode) noexcept {
+  switch (mode) {
+    case DetectorMode::kFixed:
+      return "fixed";
+    case DetectorMode::kPhiAccrual:
+      return "phi";
+  }
+  return "?";
+}
+
+std::optional<DetectorMode> DetectorModeFromName(std::string_view name) {
+  if (name == "fixed") return DetectorMode::kFixed;
+  if (name == "phi") return DetectorMode::kPhiAccrual;
+  return std::nullopt;
+}
+
 std::string DefaultCoreFunctionCode(std::int64_t contacts_per_zone) {
   // Elect the least-loaded representatives (paper §5: selection "combines
   // the local knowledge of availability ... the load on those paths and the
@@ -99,6 +115,7 @@ obs::MetricsRegistry* Agent::Metrics() {
     obs_.recomputes = m->Counter("astro.agent.aggregate_recomputes");
     obs_.cert_rejects = m->Counter("astro.agent.certs_rejected");
     obs_.elections = m->Counter("astro.agent.representative_changes");
+    obs_.integrity_drops = m->Counter("astro.agent.integrity_drops");
     obs_.digest_bytes = m->Counter("astrolabe.gossip.digest_bytes");
     obs_.delta_bytes = m->Counter("astrolabe.gossip.delta_bytes");
     obs_.full_bytes = m->Counter("astrolabe.gossip.full_bytes");
@@ -139,7 +156,8 @@ void Agent::TraceElectionChanges() {
   rep_mask_ = mask;
 }
 
-Agent::Agent(AgentConfig config) : config_(std::move(config)) {
+Agent::Agent(AgentConfig config)
+    : config_(std::move(config)), detector_(config_.phi) {
   assert(config_.path.Depth() >= 1);
   tables_.reserve(Depth());
   for (std::size_t i = 0; i < Depth(); ++i) {
@@ -167,6 +185,7 @@ void Agent::OnRestart() {
   // Volatile replicas are lost with the process; re-join from seeds.
   for (auto& t : tables_) t = std::make_shared<Table>();
   peer_known_certs_.clear();  // also process memory
+  detector_.Clear();          // arrival histories die with the process
   leaf_round_ = 0;
   leaf_cursor_ = 0;
   rep_mask_ = kNoRepMask;  // representation re-baselines with the new state
@@ -307,6 +326,19 @@ void Agent::WarmStartTable(std::size_t level, std::shared_ptr<Table> table) {
 }
 
 void Agent::OnMessage(const sim::Message& msg) {
+  // Envelope verification (wire-format v3) guards every protocol riding on
+  // the agent — gossip, mc.*, pub/sub, news — so a corrupted frame becomes
+  // a counted loss instead of poisoning MIBs or caches.
+  if (!sim::IntegrityOk(msg)) {
+    ++stats_.integrity_drops;
+    if (auto* m = Metrics()) m->Add(obs_.integrity_drops, id());
+    if (auto* t = Tracer();
+        t != nullptr && t->Enabled(obs::EventCategory::kIntegrity)) {
+      t->Record(Now(), id(), obs::EventCategory::kIntegrity, "integrity.drop",
+                msg.from, msg.wire_bytes, msg.type);
+    }
+    return;
+  }
   if (msg.type == kGossipType) {
     HandleGossipInit(msg);
     return;
@@ -338,6 +370,11 @@ std::uint64_t EncodeVersion(double now, sim::NodeId id) {
 }
 double VersionTime(std::uint64_t version) {
   return static_cast<double>(version >> 10) / 1000.0;
+}
+// Detector key of a monitored row: level-qualified so same-named children
+// of different zones track independently.
+std::string DetectorKey(std::size_t level, const std::string& key) {
+  return std::to_string(level) + "/" + key;
 }
 }  // namespace
 
@@ -397,22 +434,50 @@ void Agent::RecomputeAggregates() {
 
 void Agent::ExpireRows() {
   const std::uint64_t expired_before = stats_.rows_expired;
+  const double now = Now();
   const double cutoff =
-      Now() - config_.gossip_period * config_.fail_timeout_rounds;
-  if (cutoff <= 0) return;
-  for (std::size_t level = 0; level < Depth(); ++level) {
-    const std::string& keep = config_.path.Component(level);
-    // Probe on the const replica first so a converged shared table is not
-    // cloned needlessly.
-    bool any = false;
-    for (const auto& [key, entry] : *tables_[level]) {
-      if (key != keep && entry.last_refresh < cutoff) {
-        any = true;
-        break;
+      now - config_.gossip_period * config_.fail_timeout_rounds;
+  if (config_.detector == DetectorMode::kFixed) {
+    if (cutoff <= 0) return;
+    for (std::size_t level = 0; level < Depth(); ++level) {
+      const std::string& keep = config_.path.Component(level);
+      // Probe on the const replica first so a converged shared table is not
+      // cloned needlessly.
+      bool any = false;
+      for (const auto& [key, entry] : *tables_[level]) {
+        if (key != keep && entry.last_refresh < cutoff) {
+          any = true;
+          break;
+        }
+      }
+      if (any) {
+        stats_.rows_expired +=
+            MutableTableAt(level).ExpireOlderThan(cutoff, keep);
       }
     }
-    if (any) {
-      stats_.rows_expired += MutableTableAt(level).ExpireOlderThan(cutoff, keep);
+  } else {
+    // Phi-accrual: judge each row against its own observed version-advance
+    // rhythm; rows without enough samples yet fall back to the fixed rule.
+    for (std::size_t level = 0; level < Depth(); ++level) {
+      const std::string& keep = config_.path.Component(level);
+      std::vector<std::string> doomed;  // decided on the const replica
+      for (const auto& [key, entry] : *tables_[level]) {
+        if (key == keep) continue;
+        const std::string dkey = DetectorKey(level, key);
+        bool expire;
+        if (detector_.SampleCount(dkey) >= config_.phi.min_samples) {
+          expire = detector_.Suspect(dkey, now, config_.gossip_period);
+        } else {
+          expire = cutoff > 0 && entry.last_refresh < cutoff;
+        }
+        if (expire) doomed.push_back(key);
+      }
+      if (doomed.empty()) continue;
+      Table& local = MutableTableAt(level);
+      for (const std::string& key : doomed) local.Erase(key);
+      stats_.rows_expired += doomed.size();
+      // Arrival history is kept: if the row comes back, its learned rhythm
+      // still applies (and keeps adapting).
     }
   }
   const std::uint64_t expired = stats_.rows_expired - expired_before;
@@ -711,7 +776,14 @@ void Agent::MergeRows(const std::string& zone_text, const Rows& rows) {
     if (!local.Has(key) && VersionTime(entry.version) < stale_cutoff) {
       continue;
     }
-    if (local.MergeEntry(key, entry, now)) ++stats_.rows_merged;
+    if (local.MergeEntry(key, entry, now)) {
+      ++stats_.rows_merged;
+      // A version advance is the row's liveness heartbeat: feed the
+      // accrual detector's inter-arrival history.
+      if (config_.detector == DetectorMode::kPhiAccrual) {
+        detector_.Heartbeat(DetectorKey(level, key), now);
+      }
+    }
   }
   const std::uint64_t merged = stats_.rows_merged - merged_before;
   if (merged > 0) {
@@ -758,7 +830,10 @@ void Agent::MergeRefreshes(const std::string& zone_text,
     if (level + 1 == Depth() && refresh.key == config_.path.Leaf()) {
       continue;  // we alone author our MIB row
     }
-    local.MergeRefresh(refresh, now);
+    if (local.MergeRefresh(refresh, now) &&
+        config_.detector == DetectorMode::kPhiAccrual) {
+      detector_.Heartbeat(DetectorKey(level, refresh.key), now);
+    }
   }
 }
 

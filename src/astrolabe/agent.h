@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "astrolabe/cert.h"
+#include "astrolabe/failure_detector.h"
 #include "astrolabe/sql/ast.h"
 #include "astrolabe/table.h"
 #include "astrolabe/zone_path.h"
@@ -42,19 +43,38 @@ const char* GossipWireModeName(GossipWireMode mode) noexcept;
 // "full" / "delta" -> mode; nullopt on anything else.
 std::optional<GossipWireMode> GossipWireModeFromName(std::string_view name);
 
+// Row-expiry (failure detection) mode:
+//  * kFixed — legacy: a row expires after fail_timeout_rounds gossip
+//    periods without a fresher version, whatever the observed rhythm.
+//  * kPhiAccrual — default: per-row phi-accrual detection over the
+//    observed version-advance intervals (failure_detector.h); the fixed
+//    rule remains the cold-start fallback until enough samples accrue.
+enum class DetectorMode { kFixed, kPhiAccrual };
+
+const char* DetectorModeName(DetectorMode mode) noexcept;
+// "fixed" / "phi" -> mode; nullopt on anything else.
+std::optional<DetectorMode> DetectorModeFromName(std::string_view name);
+
 struct AgentConfig {
   ZonePath path;                  // full leaf path, depth >= 1
   double gossip_period = 2.0;     // seconds between rounds
-  double fail_timeout_rounds = 6; // row expiry, in units of gossip_period
+  double fail_timeout_rounds = 6; // fixed-mode row expiry (and the phi
+                                  // cold-start fallback), in gossip periods
   std::int64_t contacts_per_zone = 3;  // representatives per zone (paper §5)
   PublicKey trust_root = 0;       // anchor for certificate validation
   GossipWireMode wire_mode = GossipWireMode::kDelta;
+  DetectorMode detector = DetectorMode::kPhiAccrual;
+  PhiAccrualConfig phi;           // tuning for kPhiAccrual
 };
 
 // Well-known attribute names maintained by the agent itself.
 inline constexpr const char* kAttrContacts = "contacts";   // list<int NodeId>
 inline constexpr const char* kAttrMembers = "nmembers";    // int
 inline constexpr const char* kAttrLoad = "load";           // double
+// Health score in [0,1] (1 = healthy), published by the multicast layer
+// from retransmit/corruption evidence so representative election and
+// failover can route around gray nodes (DESIGN.md §10).
+inline constexpr const char* kAttrHealth = "health";       // double
 
 // The default aggregation function installed in every zone: elects the
 // k least-loaded contacts as zone representatives and counts members.
@@ -150,6 +170,9 @@ class Agent : public sim::Node {
     std::uint64_t rows_merged = 0;
     std::uint64_t rows_expired = 0;
     std::uint64_t certs_rejected = 0;
+    // Frames dropped by envelope-checksum verification (wire-format v3);
+    // corruption degrades into loss instead of poisoning the MIBs.
+    std::uint64_t integrity_drops = 0;
     // Wire-format accounting (see GossipWireMode): rows shipped vs rows the
     // digest proved the peer already had, cert bodies actually sent, and
     // payload bytes split by kind.
@@ -161,6 +184,10 @@ class Agent : public sim::Node {
     std::uint64_t full_bytes = 0;
   };
   const GossipStats& gossip_stats() const { return stats_; }
+
+  // The row-expiry failure detector (read-only; for tests and health
+  // introspection). Only consulted when config().detector == kPhiAccrual.
+  const PhiAccrualDetector& failure_detector() const { return detector_; }
 
   // sim::Node
   void OnMessage(const sim::Message& msg) override;
@@ -257,7 +284,7 @@ class Agent : public sim::Node {
   struct ObsIds {
     bool init = false;
     std::uint32_t rounds, exchanges, rows_merged, rows_expired, recomputes,
-        cert_rejects, elections;
+        cert_rejects, elections, integrity_drops;
     std::uint32_t digest_bytes, delta_bytes, full_bytes, rows_sent,
         rows_suppressed, certs_sent;
   };
@@ -282,6 +309,10 @@ class Agent : public sim::Node {
   std::uint64_t leaf_cursor_ = 0;
   bool started_ = false;
   GossipStats stats_;
+  // Per-row arrival history for kPhiAccrual, keyed "<level>/<row key>".
+  // Survives row expiry (so a re-learned row keeps its rhythm) but not a
+  // process restart.
+  PhiAccrualDetector detector_;
   ObsIds obs_{};
   std::uint32_t rep_mask_ = kNoRepMask;  // bit l: represents at level l
 };

@@ -83,6 +83,8 @@ Deployment::Deployment(DeploymentConfig config)
     ac.fail_timeout_rounds = config_.fail_timeout_rounds;
     ac.contacts_per_zone = config_.contacts_per_zone;
     ac.wire_mode = config_.gossip_wire;
+    ac.detector = config_.detector;
+    ac.phi = config_.phi;
     ac.trust_root = root_authority_.public_key();
     agents_.push_back(std::make_unique<Agent>(std::move(ac)));
     net_.AddNode(agents_.back().get());

@@ -27,6 +27,8 @@ struct DeploymentConfig {
   double fail_timeout_rounds = 6;
   std::int64_t contacts_per_zone = 3;
   GossipWireMode gossip_wire = GossipWireMode::kDelta;
+  DetectorMode detector = DetectorMode::kPhiAccrual;
+  PhiAccrualConfig phi;  // kPhiAccrual tuning, forwarded to every agent
   std::size_t seed_peers = 3;  // bootstrap contacts per agent
   sim::NetworkConfig net;
   std::uint64_t seed = 1;

@@ -1,6 +1,7 @@
 #include "multicast/multicast.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/log.h"
 
@@ -15,7 +16,9 @@ MulticastService::MulticastService(Agent& agent, MulticastConfig config)
       config_(config),
       budget_(config.forward_bytes_per_sec, config.forward_burst_bytes),
       backoff_(config.reliable),
-      suspects_(config.reliable.suspicion_ttl) {
+      suspects_(config.reliable.suspicion_ttl,
+                config.reliable.slow_suspicion_ttl,
+                config.reliable.escalate_strikes) {
   agent_.RegisterHandler(kForwardType, [this](const sim::Message& msg) {
     HandleForward(msg);
   });
@@ -43,13 +46,19 @@ void MulticastService::OnRestart() {
   // incarnation, so the load reporter must be re-armed.
   queues_.clear();
   pending_.clear();
-  suspects_ = SuspicionCache(config_.reliable.suspicion_ttl);
+  suspects_ = SuspicionCache(config_.reliable.suspicion_ttl,
+                             config_.reliable.slow_suspicion_ttl,
+                             config_.reliable.escalate_strikes);
   seen_.clear();
   seen_order_.clear();
   affinity_.clear();
   drain_scheduled_ = false;
   last_reported_bytes_ = stats_.forward_bytes;
   load_ewma_ = 0.0;
+  health_ewma_ = 1.0;
+  last_health_reported_ = -1.0;
+  last_integrity_drops_ = agent_.gossip_stats().integrity_drops;
+  last_dup_hops_ = stats_.dup_hops_received;
   if (config_.report_load && config_.load_report_interval > 0) {
     agent_.Schedule(config_.load_report_interval *
                         (0.5 + agent_.Rng().NextDouble()),
@@ -70,6 +79,8 @@ obs::MetricsRegistry* MulticastService::Metrics() {
     obs_.retransmits = m->Counter("multicast.forward.retransmits");
     obs_.failovers = m->Counter("multicast.forward.failovers");
     obs_.abandoned = m->Counter("multicast.forward.abandoned");
+    obs_.dup_hops = m->Counter("multicast.forward.dup_hops");
+    obs_.quarantines = m->Counter("multicast.forward.quarantines");
     obs_.init = true;
   }
   return m;
@@ -89,7 +100,34 @@ void MulticastService::ReportLoad() {
       double(bytes) /
       (config_.load_report_interval * config_.forward_bytes_per_sec);
   load_ewma_ = 0.7 * load_ewma_ + 0.3 * std::min(1.0, inst);
-  agent_.SetLocalAttr(astrolabe::kAttrLoad, load_ewma_);
+
+  double health = 1.0;
+  if (config_.report_health) {
+    // Self-assessed health (DESIGN.md §10): duplicate reliable hops mean
+    // our acks were lost or too slow, and integrity drops mean inbound
+    // frames arrive corrupted — both symptoms a gray node can observe
+    // about itself, from its own counters, without any oracle.
+    const std::uint64_t corrupt = agent_.gossip_stats().integrity_drops;
+    const std::uint64_t bad = (corrupt - last_integrity_drops_) +
+                              (stats_.dup_hops_received - last_dup_hops_);
+    last_integrity_drops_ = corrupt;
+    last_dup_hops_ = stats_.dup_hops_received;
+    const double inst_health =
+        1.0 - std::min(1.0, double(bad) /
+                                std::max(1.0, config_.health_events_full_penalty));
+    health_ewma_ = 0.7 * health_ewma_ + 0.3 * inst_health;
+    // Quantized so small fluctuations do not churn MIB content versions.
+    health = std::round(health_ewma_ * 20.0) / 20.0;
+    if (health != last_health_reported_) {
+      agent_.SetLocalAttr(astrolabe::kAttrHealth, health);
+      last_health_reported_ = health;
+    }
+  }
+  // Election sees the effective load: an unhealthy node inflates its
+  // reported load so the least-loaded election (§5) steers around it.
+  agent_.SetLocalAttr(
+      astrolabe::kAttrLoad,
+      load_ewma_ + (1.0 - health) * config_.health_load_penalty);
   agent_.Schedule(config_.load_report_interval, [this] { ReportLoad(); });
 }
 
@@ -140,6 +178,13 @@ void MulticastService::HandleReliableForward(const sim::Message& msg) {
   // fresh ack stops the sender.
   agent_.Send(sim::Message::Make(agent_.id(), msg.from, kAckType,
                                  HopAck{hop.hop_id}, kAckWireBytes));
+  if (seen_.contains(hop.item.id)) {
+    // A retransmission reaching us for an item we already processed means
+    // our ack was lost or too slow — self-evidence of grayness, fed into
+    // the health score by the next ReportLoad cycle.
+    ++stats_.dup_hops_received;
+    if (auto* m = Metrics()) m->Add(obs_.dup_hops, agent_.id());
+  }
   Disseminate(hop.item);
 }
 
@@ -225,14 +270,25 @@ void MulticastService::Disseminate(Item item) {
 
 std::vector<sim::NodeId> MulticastService::ChooseReps(
     const std::string& child_key, const std::vector<sim::NodeId>& contacts) {
-  // Steer fresh sends away from suspected-dead peers (negative cache); if
-  // every contact is suspected there is nothing better to try, so fall
-  // back to the full list rather than stalling the relay.
+  // Steer fresh sends away from suspected peers (negative cache). Tiered:
+  // unsuspected first; if none, retry suspected-slow (gray) peers — they
+  // answer eventually and their quarantine backs off on repeat failures —
+  // and only when every contact is suspected dead fall back to the full
+  // list rather than stalling the relay.
   const double now = agent_.Now();
   std::vector<sim::NodeId> candidates;
   candidates.reserve(contacts.size());
   for (sim::NodeId c : contacts) {
-    if (!suspects_.IsSuspected(c, now)) candidates.push_back(c);
+    if (suspects_.LevelOf(c, now) == SuspicionLevel::kNone) {
+      candidates.push_back(c);
+    }
+  }
+  if (candidates.empty()) {
+    for (sim::NodeId c : contacts) {
+      if (suspects_.LevelOf(c, now) == SuspicionLevel::kSlow) {
+        candidates.push_back(c);
+      }
+    }
   }
   if (candidates.empty()) candidates = contacts;
 
@@ -377,7 +433,12 @@ void MulticastService::OnAckTimeout(std::uint64_t hop_id,
       t->Record(now, agent_.id(), obs::EventCategory::kReliable, "mc.abandon",
                 hop.dest, std::uint64_t(hop.attempt), hop.item.id);
     }
-    suspects_.Suspect(hop.dest, now);
+    // Give-up is dead-level evidence: the peer failed every retransmission
+    // and failover attempt for the whole give-up window.
+    if (suspects_.Suspect(hop.dest, now)) {
+      ++stats_.quarantines;
+      if (m != nullptr) m->Add(obs_.quarantines, agent_.id());
+    }
     pending_.erase(it);
     return;
   }
@@ -389,14 +450,20 @@ void MulticastService::OnAckTimeout(std::uint64_t hop_id,
 
   if (hop.attempt >= config_.reliable.attempts_per_peer || !dest_is_current) {
     // Fail over to an alternate representative of the same child zone.
-    suspects_.Suspect(hop.dest, now);
+    // Timing out is slow-level evidence, not death: gray peers re-admit
+    // with backoff and only escalate to dead after repeated strikes.
+    if (suspects_.SuspectSlow(hop.dest, now)) {
+      ++stats_.quarantines;
+      if (m != nullptr) m->Add(obs_.quarantines, agent_.id());
+    }
     if (std::find(hop.tried.begin(), hop.tried.end(), hop.dest) ==
         hop.tried.end()) {
       hop.tried.push_back(hop.dest);
     }
     sim::NodeId next = hop.dest;
     // Preference order: untried & unsuspected, then unsuspected, then
-    // untried; keep the current peer only when it is the sole option.
+    // untried & not-dead, then untried; keep the current peer only when it
+    // is the sole option.
     auto pick = [&](auto&& admit) -> bool {
       std::vector<sim::NodeId> pool;
       for (sim::NodeId c : contacts) {
@@ -411,10 +478,15 @@ void MulticastService::OnAckTimeout(std::uint64_t hop_id,
              hop.tried.end();
     };
     const auto unsuspected = [&](sim::NodeId c) {
-      return !suspects_.IsSuspected(c, now);
+      return suspects_.LevelOf(c, now) == SuspicionLevel::kNone;
+    };
+    const auto not_dead = [&](sim::NodeId c) {
+      return suspects_.LevelOf(c, now) != SuspicionLevel::kDead;
     };
     (void)(pick([&](sim::NodeId c) { return untried(c) && unsuspected(c); }) ||
-           pick(unsuspected) || pick(untried));
+           pick(unsuspected) ||
+           pick([&](sim::NodeId c) { return untried(c) && not_dead(c); }) ||
+           pick(untried));
     if (next != hop.dest) {
       ++stats_.failovers;
       if (m != nullptr) m->Add(obs_.failovers, agent_.id());

@@ -67,6 +67,18 @@ struct MulticastConfig {
   // elect the least-loaded contacts.
   bool report_load = true;
   double load_report_interval = 5.0;
+  // Gray-failure handling (DESIGN.md §10): alongside load, publish a
+  // self-assessed health score into the "health" MIB attribute (1 =
+  // healthy). Duplicate reliable hops reaching this node (our acks were
+  // too slow or lost) and corrupted inbound frames are the symptoms; both
+  // are things a gray node can observe about itself.
+  bool report_health = true;
+  // Election avoidance: the load reported for representative election is
+  // load + (1 - health) * health_load_penalty, so SELECT TOP(k ... ORDER
+  // BY load ASC) steers around unhealthy nodes without a schema change.
+  double health_load_penalty = 0.5;
+  // Bad events per report interval that drive instantaneous health to 0.
+  double health_events_full_penalty = 20.0;
   // Hop-level ack/retransmit/failover discipline (see reliable.h).
   ReliableConfig reliable;
 };
@@ -102,6 +114,9 @@ struct MulticastStats {
   std::uint64_t failovers = 0;       // hops redirected to an alternate rep
   std::uint64_t abandoned = 0;       // hops given up after give_up_after
   std::uint64_t pending_overflow = 0;  // hops sent unreliably: pending full
+  // Gray-failure accounting (DESIGN.md §10).
+  std::uint64_t dup_hops_received = 0;  // retransmitted rfwd hops seen again
+  std::uint64_t quarantines = 0;        // peers newly entering suspicion
 
   std::uint64_t TotalOverflowLosses() const { return queue_drops; }
 };
@@ -133,6 +148,14 @@ class MulticastService {
   std::size_t pending_hops() const { return pending_.size(); }
   // Peers currently under suspicion (negative cache, TTL-pruned).
   std::size_t suspected_peers() { return suspects_.LiveCount(agent_.Now()); }
+  // Current suspicion level of `peer` (kSlow = gray-quarantined, retried
+  // with backoff; kDead = avoided until the long TTL expires).
+  SuspicionLevel SuspicionOf(sim::NodeId peer) {
+    return suspects_.LevelOf(peer, agent_.Now());
+  }
+  // Smoothed self-assessed health score (1 = healthy), as last computed by
+  // the load/health reporter.
+  double health() const { return health_ewma_; }
 
   // Message types used on the wire; exposed for traffic accounting.
   static constexpr const char* kForwardType = "mc.fwd";    // fire-and-forget
@@ -178,7 +201,7 @@ class MulticastService {
   struct ObsIds {
     bool init = false;
     std::uint32_t delivered, duplicates, forwards, queue_drops, queue_shed,
-        acks, retransmits, failovers, abandoned;
+        acks, retransmits, failovers, abandoned, dup_hops, quarantines;
   };
 
   void HandleForward(const sim::Message& msg);
@@ -222,6 +245,13 @@ class MulticastService {
   std::map<std::string, sim::NodeId> affinity_;  // "open connection" per child
   std::uint64_t last_reported_bytes_ = 0;
   double load_ewma_ = 0.0;
+  // Health reporting state (DESIGN.md §10). The reported score is
+  // quantized to 0.05 steps so noise does not churn MIB content versions;
+  // -1 forces the first report out.
+  double health_ewma_ = 1.0;
+  double last_health_reported_ = -1.0;
+  std::uint64_t last_integrity_drops_ = 0;
+  std::uint64_t last_dup_hops_ = 0;
   MulticastStats stats_;
   ObsIds obs_{};
 };

@@ -19,23 +19,57 @@ double BackoffPolicy::DelayFor(int attempt, util::DeterministicRng& rng) const {
   return base * (1.0 + config_.jitter_frac * spread);
 }
 
-void SuspicionCache::Suspect(sim::NodeId peer, double now) {
-  double& until = until_[peer];
-  until = std::max(until, now + ttl_);
+SuspicionCache::SuspicionCache(double ttl, double slow_ttl,
+                               int escalate_strikes)
+    : ttl_(ttl),
+      slow_ttl_(slow_ttl > 0 ? slow_ttl : ttl / 4.0),
+      escalate_strikes_(std::max(1, escalate_strikes)) {}
+
+bool SuspicionCache::Suspect(sim::NodeId peer, double now) {
+  const bool fresh = LevelOf(peer, now) == SuspicionLevel::kNone;
+  Entry& e = entries_[peer];
+  e.level = SuspicionLevel::kDead;
+  e.until = std::max(e.until, now + ttl_);
+  e.strikes += 1;
+  return fresh;
 }
 
-void SuspicionCache::Clear(sim::NodeId peer) { until_.erase(peer); }
+bool SuspicionCache::SuspectSlow(sim::NodeId peer, double now) {
+  const bool fresh = LevelOf(peer, now) == SuspicionLevel::kNone;
+  Entry& e = entries_[peer];
+  e.strikes += 1;
+  if (e.level == SuspicionLevel::kDead || e.strikes >= escalate_strikes_) {
+    e.level = SuspicionLevel::kDead;
+    e.until = std::max(e.until, now + ttl_);
+    return fresh;
+  }
+  e.level = SuspicionLevel::kSlow;
+  const double quarantine =
+      std::min(slow_ttl_ * double(1u << std::min(e.strikes - 1, 20)), ttl_);
+  e.until = std::max(e.until, now + quarantine);
+  return fresh;
+}
 
-bool SuspicionCache::IsSuspected(sim::NodeId peer, double now) const {
-  auto it = until_.find(peer);
-  return it != until_.end() && it->second > now;
+void SuspicionCache::Clear(sim::NodeId peer) { entries_.erase(peer); }
+
+SuspicionLevel SuspicionCache::LevelOf(sim::NodeId peer, double now) const {
+  auto it = entries_.find(peer);
+  if (it == entries_.end() || it->second.until <= now) {
+    return SuspicionLevel::kNone;
+  }
+  return it->second.level;
 }
 
 std::size_t SuspicionCache::LiveCount(double now) {
-  for (auto it = until_.begin(); it != until_.end();) {
-    it = it->second > now ? std::next(it) : until_.erase(it);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it = it->second.until > now ? std::next(it) : entries_.erase(it);
   }
-  return until_.size();
+  return entries_.size();
+}
+
+int SuspicionCache::StrikesOf(sim::NodeId peer) const {
+  auto it = entries_.find(peer);
+  return it == entries_.end() ? 0 : it->second.strikes;
 }
 
 }  // namespace nw::multicast

@@ -38,7 +38,12 @@ struct ReliableConfig {
   // item is abandoned to the repair layer. Must exceed the longest
   // crash/partition window the deployment is expected to ride out.
   double give_up_after = 60.0;
-  double suspicion_ttl = 10.0;     // negative-cache TTL (seconds)
+  double suspicion_ttl = 10.0;     // negative-cache TTL for kDead (seconds)
+  // Initial quarantine for kSlow (gray) suspicions; doubles per strike up
+  // to suspicion_ttl. 0 = suspicion_ttl / 4.
+  double slow_suspicion_ttl = 0.0;
+  // Slow strikes before a peer escalates to kDead.
+  int escalate_strikes = 3;
   std::size_t max_pending = 8192;  // bound on unacked hops per node
 };
 
@@ -60,25 +65,59 @@ class BackoffPolicy {
   ReliableConfig config_;
 };
 
-// Negative cache of suspected-dead peers. A peer enters when a forward to
-// it times out repeatedly and leaves either when its TTL expires or when
-// any message from it proves it alive. Representative choice consults the
-// cache so fresh sends prefer peers not under suspicion.
+// Two-level suspicion of a peer (DESIGN.md §10): a hop that fails over
+// after repeated ack timeouts is evidence of *slowness*, not death — gray
+// nodes answer eventually. kSlow quarantines briefly and re-admits with
+// backoff (the quarantine doubles per strike); only accumulated strikes or
+// a full give-up escalate to kDead, which quarantines for the long TTL.
+enum class SuspicionLevel { kNone, kSlow, kDead };
+
+// Negative cache of suspected peers. A peer enters when a forward to it
+// times out repeatedly and leaves either when its quarantine expires (it
+// is then retried; another failure re-enters it with a longer sentence)
+// or when any message from it proves it alive. Representative choice
+// consults the cache so fresh sends prefer unsuspected peers, then
+// suspected-slow ones, and avoid suspected-dead ones entirely.
 class SuspicionCache {
  public:
-  explicit SuspicionCache(double ttl) : ttl_(ttl) {}
+  // `slow_ttl` <= 0 defaults to ttl / 4.
+  explicit SuspicionCache(double ttl, double slow_ttl = 0,
+                          int escalate_strikes = 3);
 
-  void Suspect(sim::NodeId peer, double now);
-  // Liveness proof (an ack or any inbound message): drop the suspicion.
+  // Suspected-dead (legacy single-level entry point): quarantine for the
+  // full TTL. Returns true if the peer was not under suspicion before.
+  bool Suspect(sim::NodeId peer, double now);
+  // Suspected-slow: short quarantine, doubling per strike up to the dead
+  // TTL; `escalate_strikes` strikes escalate to kDead. Returns true if the
+  // peer was not under suspicion before.
+  bool SuspectSlow(sim::NodeId peer, double now);
+  // Liveness proof (an ack or any inbound message): drop the suspicion
+  // and reset the strike count.
   void Clear(sim::NodeId peer);
-  bool IsSuspected(sim::NodeId peer, double now) const;
-  // Live (unexpired) entries; also prunes expired ones.
+  SuspicionLevel LevelOf(sim::NodeId peer, double now) const;
+  // Any active suspicion (kSlow or kDead).
+  bool IsSuspected(sim::NodeId peer, double now) const {
+    return LevelOf(peer, now) != SuspicionLevel::kNone;
+  }
+  // Live (unexpired) entries; also prunes expired ones (which forgets
+  // their strikes — a peer that behaves through a full prune cycle has
+  // earned its clean slate).
   std::size_t LiveCount(double now);
   double ttl() const noexcept { return ttl_; }
+  double slow_ttl() const noexcept { return slow_ttl_; }
+  int StrikesOf(sim::NodeId peer) const;
 
  private:
+  struct Entry {
+    SuspicionLevel level = SuspicionLevel::kNone;
+    double until = 0;  // quarantine expiry time
+    int strikes = 0;   // slow strikes accumulated (drives the backoff)
+  };
+
   double ttl_;
-  std::map<sim::NodeId, double> until_;  // peer -> suspicion expiry time
+  double slow_ttl_;
+  int escalate_strikes_;
+  std::map<sim::NodeId, Entry> entries_;
 };
 
 }  // namespace nw::multicast

@@ -15,6 +15,7 @@ astrolabe::DeploymentConfig MakeDeploymentConfig(const SystemConfig& cfg) {
   dc.gossip_period = cfg.gossip_period;
   dc.contacts_per_zone = cfg.contacts_per_zone;
   dc.gossip_wire = cfg.gossip_wire;
+  dc.detector = cfg.detector;
   dc.net = cfg.net;
   dc.seed = cfg.seed;
   dc.sim_threads = cfg.sim_threads;
@@ -191,6 +192,8 @@ multicast::MulticastStats NewswireSystem::MulticastTotals() const {
     total.failovers += s.failovers;
     total.abandoned += s.abandoned;
     total.pending_overflow += s.pending_overflow;
+    total.dup_hops_received += s.dup_hops_received;
+    total.quarantines += s.quarantines;
   }
   return total;
 }

@@ -29,6 +29,7 @@ struct SystemConfig {
   double gossip_period = 2.0;
   std::int64_t contacts_per_zone = 3;
   astrolabe::GossipWireMode gossip_wire = astrolabe::GossipWireMode::kDelta;
+  astrolabe::DetectorMode detector = astrolabe::DetectorMode::kPhiAccrual;
   sim::NetworkConfig net;
   pubsub::BloomConfig bloom;
   bool hierarchical_subjects = false;  // §7: "tech" also matches "tech.*"

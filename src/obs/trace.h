@@ -51,6 +51,7 @@ enum class EventCategory : std::uint8_t {
   kCache,     // message-cache activity (duplicate suppression)
   kRepair,    // anti-entropy pull repair and state transfer
   kReliable,  // hop-level acks, retransmissions, failovers
+  kIntegrity, // frame corruption and checksum verify-and-drop
   kCount_,    // sentinel
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <set>
 #include <string_view>
 
@@ -62,7 +63,8 @@ bool ParseNode(std::string_view s, NodeId* out) {
 
 bool FaultEvent::operator==(const FaultEvent& other) const {
   return kind == other.kind && at == other.at && until == other.until &&
-         node == other.node && value == other.value && groups == other.groups;
+         node == other.node && value == other.value &&
+         value2 == other.value2 && groups == other.groups;
 }
 
 FaultPlan& FaultPlan::Crash(Time t, NodeId node) {
@@ -119,6 +121,51 @@ FaultPlan& FaultPlan::SlowUplink(Time t0, Time t1, NodeId node,
   ev.until = t1;
   ev.node = node;
   ev.value = bytes_per_sec;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::GraySlow(Time t0, Time t1, NodeId node, double factor,
+                               double delay) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kGraySlow;
+  ev.at = t0;
+  ev.until = t1;
+  ev.node = node;
+  ev.value = factor;
+  ev.value2 = delay;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::AsymPartition(Time t0, Time t1, std::vector<NodeId> from,
+                                    std::vector<NodeId> to) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kAsymPartition;
+  ev.at = t0;
+  ev.until = t1;
+  ev.groups.push_back(std::move(from));
+  ev.groups.push_back(std::move(to));
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::CorruptBurst(Time t0, Time t1, double p) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kCorruptBurst;
+  ev.at = t0;
+  ev.until = t1;
+  ev.value = p;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::DupReorder(Time t0, Time t1, double p) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kDupReorder;
+  ev.at = t0;
+  ev.until = t1;
+  ev.value = p;
   events_.push_back(std::move(ev));
   return *this;
 }
@@ -182,6 +229,33 @@ std::string FaultPlan::ToString() const {
         }
         out += " rate=" + Num(ev.value);
         break;
+      case FaultEvent::Kind::kGraySlow:
+        out += "gray@" + Num(ev.at) + ".." + Num(ev.until);
+        if (ev.node != kInvalidNode) {
+          out += " node=" + std::to_string(ev.node);
+        }
+        out += " factor=" + Num(ev.value);
+        if (ev.value2 != 0) out += " delay=" + Num(ev.value2);
+        break;
+      case FaultEvent::Kind::kAsymPartition: {
+        out += "asym@" + Num(ev.at) + ".." + Num(ev.until) + " groups=";
+        for (std::size_t g = 0; g < ev.groups.size(); ++g) {
+          if (g) out += "|";
+          for (std::size_t i = 0; i < ev.groups[g].size(); ++i) {
+            if (i) out += ",";
+            out += std::to_string(ev.groups[g][i]);
+          }
+        }
+        break;
+      }
+      case FaultEvent::Kind::kCorruptBurst:
+        out += "corrupt@" + Num(ev.at) + ".." + Num(ev.until) +
+               " p=" + Num(ev.value);
+        break;
+      case FaultEvent::Kind::kDupReorder:
+        out += "dup@" + Num(ev.at) + ".." + Num(ev.until) +
+               " p=" + Num(ev.value);
+        break;
     }
   }
   return out;
@@ -222,7 +296,7 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& text) {
 
     // key=value arguments.
     bool have_node = false, have_p = false, have_rate = false,
-         have_groups = false;
+         have_groups = false, have_factor = false;
     for (std::string_view tok : Split(args_part, ' ')) {
       tok = Trim(tok);
       if (tok.empty()) continue;
@@ -233,9 +307,13 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& text) {
       if (key == "node") {
         if (!ParseNode(val, &ev.node)) return std::nullopt;
         have_node = true;
-      } else if (key == "p" || key == "rate") {
+      } else if (key == "p" || key == "rate" || key == "factor") {
         if (!ParseDouble(val, &ev.value)) return std::nullopt;
-        (key == "p" ? have_p : have_rate) = true;
+        (key == "p" ? have_p : key == "rate" ? have_rate : have_factor) = true;
+      } else if (key == "delay") {
+        if (!ParseDouble(val, &ev.value2) || ev.value2 < 0) {
+          return std::nullopt;
+        }
       } else if (key == "groups") {
         for (std::string_view group : Split(val, '|')) {
           std::vector<NodeId> nodes;
@@ -271,6 +349,22 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& text) {
         return std::nullopt;
       }
       ev.kind = FaultEvent::Kind::kSlowUplink;
+    } else if (kind == "gray") {
+      if (!have_factor || dots == std::string_view::npos || ev.value < 1) {
+        return std::nullopt;
+      }
+      ev.kind = FaultEvent::Kind::kGraySlow;
+    } else if (kind == "asym") {
+      if (!have_groups || ev.groups.size() != 2 ||
+          dots == std::string_view::npos) {
+        return std::nullopt;
+      }
+      ev.kind = FaultEvent::Kind::kAsymPartition;
+    } else if (kind == "corrupt" || kind == "dup") {
+      if (!have_p || dots == std::string_view::npos) return std::nullopt;
+      if (ev.value < 0 || ev.value > 1) return std::nullopt;
+      ev.kind = kind == "corrupt" ? FaultEvent::Kind::kCorruptBurst
+                                  : FaultEvent::Kind::kDupReorder;
     } else {
       return std::nullopt;
     }
@@ -284,6 +378,8 @@ void FaultPlan::ApplyTo(Network& net, Time base) const {
   // Rates to restore when a fault window closes, captured now so a plan
   // applied to a tuned network puts things back the way it found them.
   const double base_loss = net.config().loss_prob;
+  const double base_corrupt = net.CorruptProb();
+  const double base_dup = net.DupProb();
   // Plan-driven network reconfiguration; Kill/Restart trace on their own.
   auto trace = [&net](const char* type, NodeId node, std::uint64_t a = 0,
                       std::uint64_t b = 0) {
@@ -348,6 +444,75 @@ void FaultPlan::ApplyTo(Network& net, Time base) const {
         });
         break;
       }
+      case FaultEvent::Kind::kGraySlow: {
+        auto each = [&net](NodeId node, auto&& fn) {
+          if (node != kInvalidNode) {
+            fn(node);
+          } else {
+            for (NodeId n = 0; n < NodeId(net.NodeCount()); ++n) fn(n);
+          }
+        };
+        sim.At(base + ev.at, [&net, each, trace, node = ev.node,
+                              factor = ev.value, delay = ev.value2] {
+          each(node, [&net, factor, delay](NodeId n) {
+            net.SetProcSlowdown(n, factor);
+            if (delay > 0) net.SetProcDelay(n, delay);
+          });
+          trace("fault.gray_begin", node, std::uint64_t(factor),
+                std::uint64_t(delay * 1e6) /*us*/);
+        });
+        sim.At(base + ev.until, [&net, each, trace, node = ev.node] {
+          each(node, [&net](NodeId n) {
+            net.ResetProcSlowdown(n);
+            net.ResetProcDelay(n);
+          });
+          trace("fault.gray_end", node);
+        });
+        break;
+      }
+      case FaultEvent::Kind::kAsymPartition: {
+        // The begin timer records the cut handles for the end timer; a
+        // heal@ in between clears the cuts and removal becomes a no-op.
+        auto handles = std::make_shared<std::vector<int>>();
+        sim.At(base + ev.at, [&net, trace, handles, groups = ev.groups] {
+          for (NodeId a : groups[0]) {
+            for (NodeId b : groups[1]) {
+              handles->push_back(net.AddAsymCut(a, b));
+            }
+          }
+          trace("fault.asym_begin", kInvalidNode, groups[0].size(),
+                groups[1].size());
+        });
+        sim.At(base + ev.until, [&net, trace, handles] {
+          for (int h : *handles) net.RemoveAsymCut(h);
+          handles->clear();
+          trace("fault.asym_end", kInvalidNode);
+        });
+        break;
+      }
+      case FaultEvent::Kind::kCorruptBurst:
+        sim.At(base + ev.at, [&net, trace, p = ev.value] {
+          net.SetCorruptProb(p);
+          trace("fault.corrupt_begin", kInvalidNode,
+                std::uint64_t(p * 1e6) /*ppm*/);
+        });
+        sim.At(base + ev.until, [&net, trace, base_corrupt] {
+          net.SetCorruptProb(base_corrupt);
+          trace("fault.corrupt_end", kInvalidNode,
+                std::uint64_t(base_corrupt * 1e6));
+        });
+        break;
+      case FaultEvent::Kind::kDupReorder:
+        sim.At(base + ev.at, [&net, trace, p = ev.value] {
+          net.SetDupProb(p);
+          trace("fault.dup_begin", kInvalidNode,
+                std::uint64_t(p * 1e6) /*ppm*/);
+        });
+        sim.At(base + ev.until, [&net, trace, base_dup] {
+          net.SetDupProb(base_dup);
+          trace("fault.dup_end", kInvalidNode, std::uint64_t(base_dup * 1e6));
+        });
+        break;
     }
   }
 }
@@ -370,7 +535,10 @@ FaultPlan FaultPlan::Random(std::uint64_t seed, std::vector<NodeId> victims,
   Time t = q(options.min_event_gap + rng.NextDouble() * 2.0);
   std::size_t emitted = 0;
 
-  enum Action { kCrash, kRestart, kPartition, kHeal, kLoss, kSlow };
+  enum Action {
+    kCrash, kRestart, kPartition, kHeal, kLoss, kSlow,
+    kGray, kAsym, kCorrupt, kDup,
+  };
   while (t < chaos_end && emitted < options.max_events) {
     std::vector<Action> candidates;
     if (dead.size() < options.max_dead && dead.size() < victims.size()) {
@@ -386,6 +554,23 @@ FaultPlan FaultPlan::Random(std::uint64_t seed, std::vector<NodeId> victims,
     }
     if (options.slow_uplinks && t >= busy_until && t + 2.0 <= chaos_end) {
       candidates.push_back(kSlow);
+    }
+    // Gray-failure windows may overlap crashes/partitions (that is the
+    // point of a cocktail) but reuse the busy gate for the frame-level
+    // probability faults so corrupt and dup bursts never stack on a loss
+    // burst (the restore timers would fight over the shared knobs).
+    if (options.gray_slow && t + 2.0 <= chaos_end) {
+      candidates.push_back(kGray);
+    }
+    if (options.asym_partitions && victims.size() >= 2 &&
+        t + 2.0 <= chaos_end) {
+      candidates.push_back(kAsym);
+    }
+    if (options.corrupt_bursts && t >= busy_until && t + 2.0 <= chaos_end) {
+      candidates.push_back(kCorrupt);
+    }
+    if (options.dup_reorder && t >= busy_until && t + 2.0 <= chaos_end) {
+      candidates.push_back(kDup);
     }
     if (candidates.empty()) break;
 
@@ -433,6 +618,42 @@ FaultPlan FaultPlan::Random(std::uint64_t seed, std::vector<NodeId> victims,
             q(std::min(2.0 + rng.NextDouble() * 8.0, chaos_end - t));
         plan.SlowUplink(t, q(t + dur), victims[rng.NextBelow(victims.size())],
                         options.slow_rate);
+        busy_until = t + dur;
+        break;
+      }
+      case kGray: {
+        const Time dur =
+            q(std::min(4.0 + rng.NextDouble() * 12.0, chaos_end - t));
+        plan.GraySlow(t, q(t + dur), victims[rng.NextBelow(victims.size())],
+                      options.gray_factor, options.gray_delay);
+        break;
+      }
+      case kAsym: {
+        std::vector<NodeId> shuffled = victims;
+        rng.Shuffle(shuffled);
+        const std::size_t cut =
+            1 + std::size_t(rng.NextBelow(shuffled.size() - 1));
+        const Time dur =
+            q(std::min(2.0 + rng.NextDouble() * 8.0, chaos_end - t));
+        plan.AsymPartition(
+            t, q(t + dur),
+            std::vector<NodeId>(shuffled.begin(), shuffled.begin() + long(cut)),
+            std::vector<NodeId>(shuffled.begin() + long(cut), shuffled.end()));
+        break;
+      }
+      case kCorrupt: {
+        const Time dur =
+            q(std::min(2.0 + rng.NextDouble() * 8.0, chaos_end - t));
+        const double p = 0.01 + rng.NextDouble() * (options.max_corrupt - 0.01);
+        plan.CorruptBurst(t, q(t + dur), std::round(p * 100.0) / 100.0);
+        busy_until = t + dur;
+        break;
+      }
+      case kDup: {
+        const Time dur =
+            q(std::min(2.0 + rng.NextDouble() * 8.0, chaos_end - t));
+        const double p = 0.01 + rng.NextDouble() * (options.max_dup - 0.01);
+        plan.DupReorder(t, q(t + dur), std::round(p * 100.0) / 100.0);
         busy_until = t + dur;
         break;
       }

@@ -8,6 +8,12 @@
 //   crash@5 node=3; restart@12 node=3; partition@20 groups=0,1|2,3;
 //   heal@30; loss@35..45 p=0.3; slow@50..55 node=2 rate=1e5
 //
+// Gray-failure kinds (DESIGN.md §10) use the same grammar:
+//
+//   gray@10..40 node=3 factor=8 delay=0.05   (slow-but-alive node)
+//   asym@20..30 groups=0,1|2,3               (one-way cut: 0,1 -/-> 2,3)
+//   corrupt@35..45 p=0.05; dup@50..60 p=0.1  (bit flips / dup+reorder)
+//
 // Times are seconds relative to the instant the plan is applied. A seeded
 // random generator produces constrained plans (bounded concurrent deaths,
 // a fault-free quiescence tail) for torture-style tests.
@@ -23,16 +29,25 @@
 namespace nw::sim {
 
 struct FaultEvent {
-  enum class Kind { kCrash, kRestart, kPartition, kHeal, kLossBurst, kSlowUplink };
+  enum class Kind {
+    kCrash, kRestart, kPartition, kHeal, kLossBurst, kSlowUplink,
+    kGraySlow,       // slow-but-alive: timer stretch + inbound delay
+    kAsymPartition,  // one-directional link cut between two groups
+    kCorruptBurst,   // per-frame checksum bit flips with probability p
+    kDupReorder,     // per-frame duplicate-and-reorder with probability p
+  };
 
   Kind kind = Kind::kHeal;
   Time at = 0;     // start time (relative to plan application)
   Time until = 0;  // end time for windowed events (loss burst, slow uplink)
   NodeId node = kInvalidNode;  // crash/restart target; kInvalidNode on
-                               // a slow-uplink event means "all nodes"
-  double value = 0;            // loss probability or uplink bytes/sec
+                               // a slow-uplink/gray event means "all nodes"
+  double value = 0;   // loss/corrupt/dup probability, uplink rate, or
+                      // gray timer-stretch factor
+  double value2 = 0;  // gray inbound processing delay (seconds)
   // Partition groups: listed nodes land in groups 1, 2, ...; nodes not
-  // listed stay in group 0.
+  // listed stay in group 0. For kAsymPartition: exactly two groups, and
+  // the cut blocks messages from the first group to the second.
   std::vector<std::vector<NodeId>> groups;
 
   bool operator==(const FaultEvent& other) const;
@@ -48,6 +63,16 @@ class FaultPlan {
   FaultPlan& LossBurst(Time t0, Time t1, double p);
   // node == kInvalidNode throttles every node's uplink.
   FaultPlan& SlowUplink(Time t0, Time t1, NodeId node, double bytes_per_sec);
+  // Gray-slow window: the node's timers run `factor`x late and inbound
+  // messages take `delay` extra seconds; node == kInvalidNode hits all.
+  FaultPlan& GraySlow(Time t0, Time t1, NodeId node, double factor,
+                      double delay = 0);
+  // One-way cut: messages from any node in `from` to any node in `to` are
+  // dropped during the window (the reverse direction keeps working).
+  FaultPlan& AsymPartition(Time t0, Time t1, std::vector<NodeId> from,
+                           std::vector<NodeId> to);
+  FaultPlan& CorruptBurst(Time t0, Time t1, double p);
+  FaultPlan& DupReorder(Time t0, Time t1, double p);
 
   const std::vector<FaultEvent>& events() const noexcept { return events_; }
   bool empty() const noexcept { return events_.empty(); }
@@ -95,6 +120,16 @@ class FaultPlan {
     bool partitions = true;
     bool loss_bursts = true;
     bool slow_uplinks = false;
+    // Gray-failure cocktail ingredients (all default-off so existing
+    // callers keep generating identical plans for a given seed).
+    bool gray_slow = false;
+    bool asym_partitions = false;
+    bool corrupt_bursts = false;
+    bool dup_reorder = false;
+    double gray_factor = 8.0;   // timer-stretch factor for gray nodes
+    double gray_delay = 0.05;   // inbound delay seconds for gray nodes
+    double max_corrupt = 0.2;   // corrupt-burst probability cap
+    double max_dup = 0.2;       // dup-reorder probability cap
   };
 
   // Generates a constrained random plan over `victims` (the node ids

@@ -9,6 +9,8 @@
 #include <string>
 #include <utility>
 
+#include "util/hash.h"
+
 namespace nw::sim {
 
 using NodeId = std::uint32_t;
@@ -20,6 +22,12 @@ struct Message {
   std::string type;         // protocol discriminator, e.g. "gossip", "fwd"
   std::any payload;         // protocol-defined body (usually shared_ptr<const T>)
   std::size_t wire_bytes = 0;  // size charged against link bandwidth
+  // Envelope checksum (wire-format v3, PROTOCOLS.md): stamped by
+  // Network::Send, verified-and-dropped by receiving protocol layers.
+  // Payloads are shared immutable objects, so in-flight corruption is
+  // modeled by flipping bits here rather than mutating the body. 0 means
+  // "unstamped" (a locally injected frame) and is accepted as intact.
+  std::uint64_t checksum = 0;
 
   template <typename T>
   const T& As() const {
@@ -46,5 +54,23 @@ struct Message {
     return m;
   }
 };
+
+// FNV/mix checksum over the envelope fields a real frame would carry in its
+// header (addresses, discriminator, length). The simulated payload bytes are
+// represented by wire_bytes; flipping any checksum bit models a corrupted
+// frame that fails verification at the receiver.
+inline std::uint64_t EnvelopeChecksum(const Message& msg) noexcept {
+  std::uint64_t h = util::Fnv1a64(msg.type);
+  h = util::HashCombine(h, msg.from);
+  h = util::HashCombine(h, msg.to);
+  h = util::HashCombine(h, msg.wire_bytes);
+  return h;
+}
+
+// True when the frame passes envelope verification. Unstamped frames
+// (checksum == 0: direct local injection in unit tests) are accepted.
+inline bool IntegrityOk(const Message& msg) noexcept {
+  return msg.checksum == 0 || msg.checksum == EnvelopeChecksum(msg);
+}
 
 }  // namespace nw::sim

@@ -21,6 +21,8 @@ NodeId Network::AddNode(Node* node) {
   partition_.push_back(0);
   uplink_rate_.push_back(config_.uplink_bytes_per_sec);
   uplink_free_at_.push_back(0.0);
+  proc_slowdown_.push_back(1.0);
+  proc_delay_.push_back(0.0);
   stats_.emplace_back();
   link_rng_.push_back(sim_.Rng().Fork(0x4c696e6bu /*'Link'*/ + id));
   by_type_per_node_.emplace_back();
@@ -44,6 +46,9 @@ void Network::SetMetrics(obs::MetricsRegistry* metrics) {
   ids_.drops_dead = metrics_->Counter("sim.network.drops_dead_endpoint");
   ids_.drops_stale = metrics_->Counter("sim.network.drops_stale_incarnation");
   ids_.drops_partition = metrics_->Counter("sim.network.drops_partition");
+  ids_.drops_asym = metrics_->Counter("sim.network.drops_asym");
+  ids_.corruptions = metrics_->Counter("sim.network.corruptions");
+  ids_.dup_frames = metrics_->Counter("sim.network.dup_frames");
   ids_.uplink_backlog = metrics_->Gauge("sim.network.uplink_backlog_s");
   ids_.kills = metrics_->Counter("sim.network.node_kills");
   ids_.restarts = metrics_->Counter("sim.network.node_restarts");
@@ -54,6 +59,7 @@ void Network::Send(Message msg) {
   assert(msg.to < nodes_.size());
   const NodeId from = msg.from;
   const NodeId to = msg.to;
+  msg.checksum = EnvelopeChecksum(msg);
 
   const std::size_t wire = msg.wire_bytes + config_.per_message_overhead;
   stats_[from].messages_sent += 1;
@@ -89,28 +95,66 @@ void Network::Send(Message msg) {
     metrics_->Set(ids_.uplink_backlog, from, departure - sim_.Now());
   }
 
+  // Inbound gray delay (a saturated receive path at `to`) adds on top of
+  // the propagation latency, so the conservative lookahead still holds.
   const double jitter =
       config_.base_latency * config_.jitter_frac * link_rng_[from].NextDouble();
-  const Time arrival = departure + config_.base_latency + jitter;
+  const Time arrival =
+      departure + config_.base_latency + jitter + proc_delay_[to];
 
   const bool lost = link_rng_[from].NextBool(config_.loss_prob);
+  // Gray-fault draws are guarded by their probabilities so the per-sender
+  // RNG streams (and every committed golden trace) are unchanged while the
+  // faults are inactive.
+  bool corrupt = false;
+  std::uint32_t flip_bit = 0;
+  if (!lost && corrupt_prob_ > 0 && link_rng_[from].NextBool(corrupt_prob_)) {
+    corrupt = true;
+    flip_bit = std::uint32_t(link_rng_[from].NextBelow(64));
+  }
+  bool dup = false;
+  Time dup_extra = 0;
+  if (!lost && dup_prob_ > 0 && link_rng_[from].NextBool(dup_prob_)) {
+    dup = true;
+    dup_extra =
+        config_.base_latency * (0.5 + 1.5 * link_rng_[from].NextDouble());
+  }
+
+  if (dup) {
+    stats_[from].messages_duplicated += 1;
+    if (metrics_ != nullptr) metrics_->Add(ids_.dup_frames, from);
+    // The duplicate is a clean copy (payload shared) arriving late, i.e.
+    // reordered past messages sent after the original.
+    DeliverAt(msg, arrival + dup_extra, wire, /*lost=*/false,
+              /*corrupt=*/false, 0);
+  }
+  DeliverAt(std::move(msg), arrival, wire, lost, corrupt, flip_bit);
+}
+
+void Network::DeliverAt(Message msg, Time arrival, std::size_t wire, bool lost,
+                        bool corrupt, std::uint32_t flip_bit) {
+  const NodeId from = msg.from;
+  const NodeId to = msg.to;
   const std::uint32_t to_inc = incarnation_[to];
 
   // The delivery executes in the receiver's context/shard; the base
   // latency keeps `arrival` beyond the conservative lookahead window.
   sim_.AtNode(to, arrival, [this, msg = std::move(msg), wire, lost, to, from,
-                            to_inc]() mutable {
+                            to_inc, corrupt, flip_bit]() mutable {
     const bool dead = !alive_[to];
     const bool stale = !dead && incarnation_[to] != to_inc;
     const bool partitioned =
         !lost && !dead && !stale && partition_[from] != partition_[to];
-    if (lost || dead || stale || partitioned) {
+    const bool asym = !lost && !dead && !stale && !partitioned &&
+                      AsymBlocked(from, to);
+    if (lost || dead || stale || partitioned || asym) {
       stats_[to].messages_dropped += 1;
       if (metrics_ != nullptr) {
         metrics_->Add(lost    ? ids_.drops_loss
                       : dead  ? ids_.drops_dead
                       : stale ? ids_.drops_stale
-                              : ids_.drops_partition,
+                      : partitioned ? ids_.drops_partition
+                              : ids_.drops_asym,
                       to);
       }
       if (tracer_ != nullptr && tracer_->Enabled(obs::EventCategory::kDrop)) {
@@ -118,10 +162,21 @@ void Network::Send(Message msg) {
                         lost    ? "net.drop.loss"
                         : dead  ? "net.drop.dead_endpoint"
                         : stale ? "net.drop.stale_incarnation"
-                                : "net.drop.partition",
+                        : partitioned ? "net.drop.partition"
+                                : "net.drop.asym",
                         from, wire, msg.type);
       }
       return;
+    }
+    if (corrupt) {
+      msg.checksum ^= 1ull << flip_bit;
+      stats_[to].messages_corrupted += 1;
+      if (metrics_ != nullptr) metrics_->Add(ids_.corruptions, to);
+      if (tracer_ != nullptr &&
+          tracer_->Enabled(obs::EventCategory::kIntegrity)) {
+        tracer_->Record(sim_.Now(), to, obs::EventCategory::kIntegrity,
+                        "net.corrupt", from, flip_bit, msg.type);
+      }
     }
     stats_[to].messages_received += 1;
     stats_[to].bytes_received += wire;
@@ -135,6 +190,23 @@ void Network::Send(Message msg) {
     }
     nodes_[to]->OnMessage(msg);
   });
+}
+
+int Network::AddAsymCut(NodeId from, NodeId to) {
+  const int id = next_asym_id_++;
+  asym_cut_by_id_[id] = {from, to};
+  asym_pair_count_[{from, to}] += 1;
+  return id;
+}
+
+void Network::RemoveAsymCut(int cut_id) {
+  const auto it = asym_cut_by_id_.find(cut_id);
+  if (it == asym_cut_by_id_.end()) return;
+  const auto pair_it = asym_pair_count_.find(it->second);
+  if (pair_it != asym_pair_count_.end() && --pair_it->second <= 0) {
+    asym_pair_count_.erase(pair_it);
+  }
+  asym_cut_by_id_.erase(it);
 }
 
 void Network::Kill(NodeId id) {
@@ -167,6 +239,8 @@ void Network::Restart(NodeId id) {
 
 void Network::HealPartitions() {
   std::fill(partition_.begin(), partition_.end(), 0);
+  asym_cut_by_id_.clear();
+  asym_pair_count_.clear();
 }
 
 TrafficStats Network::TotalStats() const {
@@ -177,6 +251,8 @@ TrafficStats Network::TotalStats() const {
     total.messages_received += s.messages_received;
     total.bytes_received += s.bytes_received;
     total.messages_dropped += s.messages_dropped;
+    total.messages_corrupted += s.messages_corrupted;
+    total.messages_duplicated += s.messages_duplicated;
   }
   return total;
 }

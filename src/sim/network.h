@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -33,7 +34,9 @@ struct TrafficStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_received = 0;
-  std::uint64_t messages_dropped = 0;  // loss, dead endpoint, or partition
+  std::uint64_t messages_dropped = 0;  // loss, dead endpoint, partition, asym
+  std::uint64_t messages_corrupted = 0;  // delivered with a flipped checksum
+  std::uint64_t messages_duplicated = 0;  // extra copies injected by dup fault
 };
 
 class Network {
@@ -62,7 +65,15 @@ class Network {
   // Partitions: nodes in different partition groups cannot exchange
   // messages. Default: everyone in group 0.
   void SetPartitionGroup(NodeId id, int group) { partition_[id] = group; }
+  // Restores full connectivity: partition groups AND asymmetric cuts.
   void HealPartitions();
+
+  // Asymmetric (one-directional) link cuts: messages from `from` to `to`
+  // are dropped while the cut is active; the reverse direction still
+  // works. Returns a handle for removal; removing an unknown handle is a
+  // no-op (HealPartitions may have cleared it already).
+  int AddAsymCut(NodeId from, NodeId to);
+  void RemoveAsymCut(int cut_id);
 
   // Runtime fault knobs (driven by FaultPlan): the ambient loss probability
   // and per-node uplink rates can change mid-run, e.g. a loss burst or a
@@ -75,6 +86,32 @@ class Network {
   void ResetUplinkRate(NodeId id) {
     uplink_rate_[id] = config_.uplink_bytes_per_sec;
   }
+
+  // Gray-failure knobs (DESIGN.md §10). All are mutated from plan timers
+  // (global-context events, executed at window barriers), so shard-local
+  // reads are race-free like the loss/partition state above.
+  //
+  // Processing slowdown: multiplies every Node::Schedule delay on the
+  // node, so a gray node's own timers (gossip rounds, ack timeouts, queue
+  // drains) stretch — the node stays alive but falls behind.
+  void SetProcSlowdown(NodeId id, double factor) {
+    proc_slowdown_[id] = factor;
+  }
+  void ResetProcSlowdown(NodeId id) { proc_slowdown_[id] = 1.0; }
+  double ProcSlowdown(NodeId id) const { return proc_slowdown_[id]; }
+  // Inbound processing delay: added to the delivery latency of every
+  // message addressed to the node (a saturated receive path).
+  void SetProcDelay(NodeId id, double seconds) { proc_delay_[id] = seconds; }
+  void ResetProcDelay(NodeId id) { proc_delay_[id] = 0.0; }
+  double ProcDelay(NodeId id) const { return proc_delay_[id]; }
+  // Corruption: each non-lost frame independently gets one checksum bit
+  // flipped with probability p (receivers verify-and-drop).
+  void SetCorruptProb(double p) { corrupt_prob_ = p; }
+  double CorruptProb() const noexcept { return corrupt_prob_; }
+  // Duplicate-and-reorder: each non-lost frame is delivered a second time
+  // with probability p, after an extra latency draw.
+  void SetDupProb(double p) { dup_prob_ = p; }
+  double DupProb() const noexcept { return dup_prob_; }
 
   std::size_t NodeCount() const noexcept { return nodes_.size(); }
   const TrafficStats& StatsFor(NodeId id) const { return stats_[id]; }
@@ -117,6 +154,15 @@ class Network {
   std::vector<int> partition_;
   std::vector<double> uplink_rate_;  // bytes/sec, default config value
   std::vector<Time> uplink_free_at_;
+  std::vector<double> proc_slowdown_;  // timer stretch factor, default 1.0
+  std::vector<double> proc_delay_;     // inbound delay seconds, default 0.0
+  double corrupt_prob_ = 0.0;
+  double dup_prob_ = 0.0;
+  // Active one-directional cuts: handle -> directed pair, plus a per-pair
+  // active count so overlapping group cuts compose.
+  std::map<int, std::pair<NodeId, NodeId>> asym_cut_by_id_;
+  std::map<std::pair<NodeId, NodeId>, int> asym_pair_count_;
+  int next_asym_id_ = 0;
   std::vector<TrafficStats> stats_;
   // Per-sender RNG streams for jitter/loss draws: forked per node at
   // AddNode so stochastic outcomes depend only on that sender's own
@@ -132,8 +178,18 @@ class Network {
   struct MetricIds {
     obs::MetricsRegistry::MetricId sent, bytes_sent, delivered,
         bytes_received, drops_loss, drops_dead, drops_stale, drops_partition,
-        uplink_backlog, kills, restarts;
+        drops_asym, corruptions, dup_frames, uplink_backlog, kills, restarts;
   } ids_{};
+
+  bool AsymBlocked(NodeId from, NodeId to) const {
+    if (asym_pair_count_.empty()) return false;
+    const auto it = asym_pair_count_.find({from, to});
+    return it != asym_pair_count_.end() && it->second > 0;
+  }
+  // Schedules one delivery attempt of `msg` at `arrival` in the receiver's
+  // context (Send may call it twice under the dup-reorder fault).
+  void DeliverAt(Message msg, Time arrival, std::size_t wire, bool lost,
+                 bool corrupt, std::uint32_t flip_bit);
 };
 
 // Base class for simulated hosts. Subclasses implement OnMessage and use
@@ -159,10 +215,12 @@ class Node {
   }
 
   // Schedules fn after `delay`, suppressed if this node dies or restarts
-  // in the meantime.
+  // in the meantime. A gray-slow fault stretches the delay: the node's
+  // timers (and therefore everything it drives) run late.
   void Schedule(Time delay, std::function<void()> fn) {
     const std::uint32_t inc = net_->Incarnation(id_);
-    net_->simulator().After(delay, [this, inc, fn = std::move(fn)]() {
+    net_->simulator().After(delay * net_->ProcSlowdown(id_),
+                            [this, inc, fn = std::move(fn)]() {
       if (net_->IsAlive(id_) && net_->Incarnation(id_) == inc) fn();
     });
   }

@@ -223,6 +223,167 @@ TEST(FaultPlan, SlowUplinkStretchesSerializationThenRecovers) {
   EXPECT_NEAR(b.receive_times[2], 25.001, 1e-6);
 }
 
+// ---- gray-failure fault kinds (DESIGN.md §10) ---------------------------
+
+TEST(FaultPlan, GrayFailureKindsRoundTripThroughText) {
+  FaultPlan plan;
+  plan.GraySlow(10, 40, 3, 8, 0.05)
+      .AsymPartition(20, 30, {0, 1}, {2, 3})
+      .CorruptBurst(35, 45, 0.05)
+      .DupReorder(50, 60, 0.1);
+  const std::string text = plan.ToString();
+  auto parsed = FaultPlan::Parse(text);
+  ASSERT_TRUE(parsed.has_value()) << text;
+  EXPECT_EQ(*parsed, plan) << text;
+  EXPECT_EQ(parsed->ToString(), text);
+}
+
+TEST(FaultPlan, ParsesHandwrittenGrayFailureStrings) {
+  auto plan = FaultPlan::Parse(
+      "gray@10..40 node=3 factor=8 delay=0.05; asym@20..30 groups=0,1|2,3; "
+      "corrupt@35..45 p=0.05; dup@50..60 p=0.1");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->size(), 4u);
+  EXPECT_EQ(plan->events()[0].kind, FaultEvent::Kind::kGraySlow);
+  EXPECT_EQ(plan->events()[0].node, 3u);
+  EXPECT_DOUBLE_EQ(plan->events()[0].value, 8.0);
+  EXPECT_DOUBLE_EQ(plan->events()[0].value2, 0.05);
+  EXPECT_EQ(plan->events()[1].kind, FaultEvent::Kind::kAsymPartition);
+  ASSERT_EQ(plan->events()[1].groups.size(), 2u);
+  EXPECT_EQ(plan->events()[2].kind, FaultEvent::Kind::kCorruptBurst);
+  EXPECT_DOUBLE_EQ(plan->events()[2].value, 0.05);
+  EXPECT_EQ(plan->events()[3].kind, FaultEvent::Kind::kDupReorder);
+  EXPECT_DOUBLE_EQ(plan->EndTime(), 60.0);
+}
+
+TEST(FaultPlan, RejectsMalformedGrayFailureStrings) {
+  const char* bad[] = {
+      "gray@5..9 node=1",              // missing factor
+      "gray@5 node=1 factor=2",        // window required
+      "gray@5..9 node=1 factor=0.5",   // slowdown below 1 is a speedup
+      "gray@5..9 node=1 factor=2 delay=-1",  // negative inbound delay
+      "asym@5..9 groups=1",            // needs exactly two groups
+      "asym@5..9 groups=1|2|3",        // three groups is ambiguous
+      "asym@5 groups=1|2",             // window required
+      "corrupt@5..9 p=1.5",            // probability out of range
+      "corrupt@5..9",                  // missing p
+      "dup@5 p=0.1",                   // window required
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(FaultPlan::Parse(text).has_value()) << text;
+  }
+}
+
+TEST(FaultPlan, GraySlowStretchesProcessingThenRecovers) {
+  Simulator sim(3);
+  Network net(sim, NetworkConfig{});
+  Sink a, b;
+  net.AddNode(&a);
+  net.AddNode(&b);
+  auto plan = FaultPlan::Parse("gray@10..20 node=1 factor=8 delay=0.05");
+  ASSERT_TRUE(plan.has_value());
+  plan->ApplyTo(net, 0);
+  sim.At(5, [&] {
+    EXPECT_DOUBLE_EQ(net.ProcSlowdown(1), 1.0);
+    EXPECT_DOUBLE_EQ(net.ProcDelay(1), 0.0);
+  });
+  sim.At(15, [&] {
+    EXPECT_DOUBLE_EQ(net.ProcSlowdown(1), 8.0);
+    EXPECT_DOUBLE_EQ(net.ProcDelay(1), 0.05);
+  });
+  sim.At(25, [&] {
+    EXPECT_DOUBLE_EQ(net.ProcSlowdown(1), 1.0);
+    EXPECT_DOUBLE_EQ(net.ProcDelay(1), 0.0);
+  });
+  sim.RunUntilIdle();
+}
+
+TEST(FaultPlan, AsymCutBlocksOneDirectionOnly) {
+  Simulator sim(3);
+  Network net(sim, NetworkConfig{});
+  Sink a, b;
+  net.AddNode(&a);
+  net.AddNode(&b);
+  auto plan = FaultPlan::Parse("asym@1..5 groups=0|1");
+  ASSERT_TRUE(plan.has_value());
+  plan->ApplyTo(net, 0);
+  sim.At(2, [&] {
+    net.Send(Message::Make<Probe>(0, 1, "probe", {1}, 8));  // cut direction
+    net.Send(Message::Make<Probe>(1, 0, "probe", {2}, 8));  // reverse: open
+  });
+  sim.At(6, [&] {
+    net.Send(Message::Make<Probe>(0, 1, "probe", {3}, 8));  // healed
+  });
+  sim.RunUntilIdle();
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(a.received[0].As<Probe>().value, 2);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].As<Probe>().value, 3);
+  EXPECT_EQ(net.StatsFor(1).messages_dropped, 1u)
+      << "the cut-direction frame is accounted as a drop at the receiver";
+}
+
+TEST(FaultPlan, CorruptBurstFlipsChecksumsButStillDeliversFrames) {
+  Simulator sim(3);
+  NetworkConfig cfg;
+  cfg.jitter_frac = 0.0;
+  Network net(sim, cfg);
+  Sink a, b;
+  net.AddNode(&a);
+  net.AddNode(&b);
+  auto plan = FaultPlan::Parse("corrupt@1..5 p=1");
+  ASSERT_TRUE(plan.has_value());
+  plan->ApplyTo(net, 0);
+  sim.At(2, [&] { net.Send(Message::Make<Probe>(0, 1, "probe", {1}, 8)); });
+  sim.At(6, [&] { net.Send(Message::Make<Probe>(0, 1, "probe", {2}, 8)); });
+  sim.RunUntilIdle();
+  // The corrupted frame is delivered — detection is the receiver's job —
+  // but its checksum no longer verifies; the clean one does.
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_FALSE(IntegrityOk(b.received[0]));
+  EXPECT_TRUE(IntegrityOk(b.received[1]));
+  EXPECT_EQ(net.StatsFor(1).messages_corrupted, 1u);
+}
+
+TEST(FaultPlan, DupReorderDeliversACleanExtraCopy) {
+  Simulator sim(3);
+  NetworkConfig cfg;
+  cfg.jitter_frac = 0.0;
+  Network net(sim, cfg);
+  Sink a, b;
+  net.AddNode(&a);
+  net.AddNode(&b);
+  auto plan = FaultPlan::Parse("dup@1..5 p=1");
+  ASSERT_TRUE(plan.has_value());
+  plan->ApplyTo(net, 0);
+  sim.At(2, [&] { net.Send(Message::Make<Probe>(0, 1, "probe", {7}, 8)); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(b.received.size(), 2u);
+  for (const Message& msg : b.received) {
+    EXPECT_TRUE(IntegrityOk(msg));
+    EXPECT_EQ(msg.As<Probe>().value, 7);
+  }
+  EXPECT_EQ(net.StatsFor(0).messages_duplicated, 1u);
+}
+
+TEST(FaultPlan, RandomPlanWithGrayOptionsRoundTrips) {
+  FaultPlan::RandomOptions opt;
+  opt.horizon = 100;
+  opt.gray_slow = true;
+  opt.asym_partitions = true;
+  opt.corrupt_bursts = true;
+  opt.dup_reorder = true;
+  std::vector<NodeId> victims;
+  for (NodeId n = 1; n <= 16; ++n) victims.push_back(n);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const FaultPlan plan = FaultPlan::Random(seed, victims, opt);
+    auto reparsed = FaultPlan::Parse(plan.ToString());
+    ASSERT_TRUE(reparsed.has_value()) << plan.ToString();
+    EXPECT_EQ(*reparsed, plan);
+    EXPECT_EQ(FaultPlan::Random(seed, victims, opt), plan) << "seed-stable";
+  }
+}
+
 // ---- whole-system replay determinism -----------------------------------
 
 struct TraceRun {

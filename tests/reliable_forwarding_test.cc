@@ -104,6 +104,72 @@ TEST(SuspicionCache, LiveCountPrunesExpiredEntries) {
   EXPECT_EQ(cache.LiveCount(120.0), 0u);
 }
 
+// ---- two-level suspicion (DESIGN.md §10) --------------------------------
+
+TEST(SuspicionCache, LegacySuspectIsDeadLevel) {
+  SuspicionCache cache(10.0);
+  cache.Suspect(3, 100.0);
+  EXPECT_EQ(cache.LevelOf(3, 100.0), SuspicionLevel::kDead);
+  EXPECT_EQ(cache.LevelOf(3, 110.0), SuspicionLevel::kNone);
+}
+
+TEST(SuspicionCache, SlowSuspicionReadmitsAfterAShortQuarantine) {
+  SuspicionCache cache(10.0);  // slow TTL defaults to ttl/4 = 2.5
+  EXPECT_TRUE(cache.SuspectSlow(3, 100.0));
+  EXPECT_EQ(cache.LevelOf(3, 100.0), SuspicionLevel::kSlow);
+  EXPECT_TRUE(cache.IsSuspected(3, 102.4));
+  // Re-admitted long before a dead suspicion would have expired: the gray
+  // peer gets another chance instead of a 10 s sentence.
+  EXPECT_FALSE(cache.IsSuspected(3, 102.5));
+  EXPECT_EQ(cache.LevelOf(3, 102.5), SuspicionLevel::kNone);
+}
+
+TEST(SuspicionCache, RepeatSlowStrikesBackOffThenEscalateToDead) {
+  SuspicionCache cache(10.0, /*slow_ttl=*/2.0, /*escalate_strikes=*/3);
+  EXPECT_TRUE(cache.SuspectSlow(3, 100.0));   // strike 1: quarantine 2 s
+  EXPECT_FALSE(cache.IsSuspected(3, 102.5));  // re-admitted
+  EXPECT_TRUE(cache.SuspectSlow(3, 103.0));   // strike 2: quarantine 4 s
+  EXPECT_EQ(cache.LevelOf(3, 103.0), SuspicionLevel::kSlow);
+  EXPECT_TRUE(cache.IsSuspected(3, 106.9));
+  EXPECT_FALSE(cache.IsSuspected(3, 107.0));
+  EXPECT_EQ(cache.StrikesOf(3), 2);
+  // Third strike: the peer has been retried and failed repeatedly — now
+  // it is treated like a crashed one for the full TTL.
+  EXPECT_TRUE(cache.SuspectSlow(3, 108.0));
+  EXPECT_EQ(cache.LevelOf(3, 108.0), SuspicionLevel::kDead);
+  EXPECT_TRUE(cache.IsSuspected(3, 117.9));
+  EXPECT_FALSE(cache.IsSuspected(3, 118.0));
+}
+
+TEST(SuspicionCache, SlowQuarantineIsCappedAtTheDeadTtl) {
+  SuspicionCache cache(10.0, /*slow_ttl=*/4.0, /*escalate_strikes=*/100);
+  cache.SuspectSlow(3, 100.0);  // 4 s
+  cache.SuspectSlow(3, 105.0);  // 8 s
+  cache.SuspectSlow(3, 114.0);  // 16 s would exceed ttl: capped at 10 s
+  EXPECT_EQ(cache.LevelOf(3, 114.0), SuspicionLevel::kSlow);
+  EXPECT_TRUE(cache.IsSuspected(3, 123.9));
+  EXPECT_FALSE(cache.IsSuspected(3, 124.0));
+}
+
+TEST(SuspicionCache, ClearResetsStrikesForAFreshStart) {
+  SuspicionCache cache(10.0, /*slow_ttl=*/2.0, /*escalate_strikes=*/3);
+  cache.SuspectSlow(3, 100.0);
+  cache.SuspectSlow(3, 103.0);
+  cache.Clear(3);  // liveness proof
+  EXPECT_EQ(cache.StrikesOf(3), 0);
+  // The next failure starts the ladder from the bottom again.
+  EXPECT_TRUE(cache.SuspectSlow(3, 110.0));
+  EXPECT_EQ(cache.LevelOf(3, 110.0), SuspicionLevel::kSlow);
+  EXPECT_FALSE(cache.IsSuspected(3, 112.0));
+}
+
+TEST(SuspicionCache, SuspectSlowReturnsWhetherPeerWasNewlyQuarantined) {
+  SuspicionCache cache(10.0, /*slow_ttl=*/2.0, /*escalate_strikes=*/10);
+  EXPECT_TRUE(cache.SuspectSlow(3, 100.0));
+  EXPECT_FALSE(cache.SuspectSlow(3, 101.0));  // already quarantined
+  EXPECT_TRUE(cache.SuspectSlow(3, 110.0));   // re-entry after expiry
+}
+
 // ---- integration -------------------------------------------------------
 
 class ReliableEnv {

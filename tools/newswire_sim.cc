@@ -56,6 +56,13 @@ void PrintUsage() {
       "                        e.g. 'crash@5 node=3; restart@20 node=3'\n"
       "                        (times relative to publish start; see\n"
       "                        src/sim/fault_plan.h for the grammar)\n"
+      "  --fault-cocktail      generate a random gray-failure cocktail\n"
+      "                        (crashes + gray slowdowns + asymmetric cuts +\n"
+      "                        corruption/duplication bursts) over the run\n"
+      "  --chaos-seed N        seed for --fault-cocktail (default: --seed);\n"
+      "                        the generated plan is printed and committable\n"
+      "  --detector M          row-expiry failure detector: phi | fixed\n"
+      "                        (default phi; fixed = legacy 6-round timeout)\n"
       "  --hierarchical        subjects form a dot hierarchy (see §7)\n"
       "  --verify              publisher signature verification on\n"
       "  --bloom-bits N        subscription filter size (default 1024)\n"
@@ -91,6 +98,14 @@ int main(int argc, char** argv) {
                  wire_name.c_str());
     return 2;
   }
+  const std::string detector_name = flags.GetString("detector", "phi");
+  if (const auto det = astrolabe::DetectorModeFromName(detector_name)) {
+    cfg.detector = *det;
+  } else {
+    std::fprintf(stderr, "--detector: expected phi or fixed, got \"%s\"\n",
+                 detector_name.c_str());
+    return 2;
+  }
   cfg.net.loss_prob = flags.GetDouble("loss", 0.0);
   cfg.body_bytes = std::size_t(flags.GetInt("body-bytes", 2048));
   cfg.catalog_size = std::size_t(flags.GetInt("catalog", 16));
@@ -109,6 +124,9 @@ int main(int argc, char** argv) {
   const double kill_frac = flags.GetDouble("kill-frac", 0.0);
   const double kill_at = flags.GetDouble("kill-at", 30.0);
   const std::string fault_plan_arg = flags.GetString("fault-plan", "");
+  const bool fault_cocktail = flags.GetBool("fault-cocktail", false);
+  const std::uint64_t chaos_seed =
+      std::uint64_t(flags.GetInt("chaos-seed", long(cfg.seed)));
   const std::string trace_path = flags.GetString("trace", "");
   const std::size_t trace_capacity =
       std::size_t(flags.GetInt("trace-capacity", 1 << 18));
@@ -191,6 +209,32 @@ int main(int argc, char** argv) {
     std::printf("fault plan: %s\n", fault_plan.ToString().c_str());
     fault_plan.ApplyTo(sys.deployment().net(), t0);
   }
+  double fault_end = fault_plan.EndTime();
+  if (fault_cocktail) {
+    sim::FaultPlan::RandomOptions opt;
+    opt.horizon = duration;
+    // Short runs: shrink the quiescent tail so the chaos window [0,
+    // horizon - quiescence) stays non-empty; the driver's +60 s settle
+    // covers recovery regardless.
+    opt.min_quiescence = std::min(opt.min_quiescence, duration / 2);
+    opt.gray_slow = true;
+    opt.asym_partitions = true;
+    opt.corrupt_bursts = true;
+    opt.dup_reorder = true;
+    std::vector<sim::NodeId> victims;
+    victims.reserve(sys.subscriber_count());
+    for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
+      victims.push_back(sys.subscriber_agent(i).id());
+    }
+    const sim::FaultPlan cocktail =
+        sim::FaultPlan::Random(chaos_seed, victims, opt);
+    // The plan text round-trips through Parse; paste it into --fault-plan
+    // (or tests/chaos_test.cc) to pin a failing cocktail down.
+    std::printf("fault cocktail (seed %llu): %s\n",
+                (unsigned long long)chaos_seed, cocktail.ToString().c_str());
+    cocktail.ApplyTo(sys.deployment().net(), t0);
+    fault_end = std::max(fault_end, cocktail.EndTime());
+  }
   const int total_items = int(duration * items_per_sec);
   for (int k = 0; k < total_items; ++k) {
     sys.deployment().sim().At(t0 + k / items_per_sec, [&sys, &rng, k] {
@@ -217,7 +261,7 @@ int main(int argc, char** argv) {
     });
   }
   // Stream + settle/repair time, covering the fault plan's recovery tail.
-  sys.RunFor(std::max(duration, fault_plan.EndTime()) + 60);
+  sys.RunFor(std::max(duration, fault_end) + 60);
 
   // ---- report ----
   std::uint64_t published = 0, throttled = 0;
@@ -228,12 +272,15 @@ int main(int argc, char** argv) {
     pub_bytes += double(sys.PublisherTraffic(j).bytes_sent);
   }
   std::uint64_t repaired = 0, fp = 0, relays = 0;
+  std::uint64_t integrity_drops = 0, rows_expired = 0;
   for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
     repaired += sys.subscriber(i).stats().repaired;
   }
   for (std::size_t i = 0; i < sys.node_count(); ++i) {
     fp += sys.pubsub_at(i).stats().false_positives;
     relays += sys.pubsub_at(i).stats().relay_discards;
+    integrity_drops += sys.deployment().agent(i).gossip_stats().integrity_drops;
+    rows_expired += sys.deployment().agent(i).gossip_stats().rows_expired;
   }
   const multicast::MulticastStats mc = sys.MulticastTotals();
   const auto total = sys.deployment().net().TotalStats();
@@ -259,6 +306,11 @@ int main(int argc, char** argv) {
   }
   report.AddRow({"queue overflow drops", util::TablePrinter::Int(long(mc.queue_drops))});
   report.AddRow({"  of which urgency-shed", util::TablePrinter::Int(long(mc.queue_shed))});
+  report.AddRow({"corrupted frames", util::TablePrinter::Int(long(total.messages_corrupted))});
+  report.AddRow({"integrity drops", util::TablePrinter::Int(long(integrity_drops))});
+  report.AddRow({"rows expired (suspicions)", util::TablePrinter::Int(long(rows_expired))});
+  report.AddRow({"dup hops received", util::TablePrinter::Int(long(mc.dup_hops_received))});
+  report.AddRow({"gray quarantines", util::TablePrinter::Int(long(mc.quarantines))});
   report.AddRow({"publisher egress MB", util::TablePrinter::Num(pub_bytes / 1e6, 2)});
   report.AddRow({"total network GB", util::TablePrinter::Num(double(total.bytes_sent) / 1e9, 3)});
   report.Print();

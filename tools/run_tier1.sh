@@ -36,24 +36,27 @@ cmake --build "$build" -j "$jobs"
 
 if [[ "${TSAN:-0}" == "1" || "${NEWSWIRE_SANITIZE:-}" == "thread" ]]; then
   # Under TSan, run the suites that actually spin up worker threads: the
-  # unit label (engine primitives) and the parallel label (full-system
-  # replays at several --sim-threads settings). The parallel replays also
-  # run once more with the whole scenario machinery forced onto 4 shards
-  # so every cross-layer path executes on worker threads under the
-  # sanitizer.
-  ctest --test-dir "$build" --output-on-failure -j "$jobs" -L 'unit|parallel' "$@"
+  # unit label (engine primitives), the parallel label (full-system
+  # replays at several --sim-threads settings), and the chaos label (the
+  # gray-failure cocktails replay at --sim-threads 1/2/4 internally). The
+  # replays also run once more with the whole scenario machinery forced
+  # onto 4 shards so every cross-layer path executes on worker threads
+  # under the sanitizer.
+  ctest --test-dir "$build" --output-on-failure -j "$jobs" \
+    -L 'unit|parallel|chaos' "$@"
   NEWSWIRE_SIM_THREADS=4 ctest --test-dir "$build" --output-on-failure \
-    -j "$jobs" -L scenario "$@"
+    -j "$jobs" -L 'scenario|chaos' "$@"
   exit 0
 fi
 
 ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"
 
-# The scenario suites must replay identically under the parallel engine
-# (DESIGN.md §9): rerun the committed fault-plan label with the simulator
-# sharded 4 ways. The 1-thread run already happened above (the env default).
+# The scenario and chaos suites must replay identically under the parallel
+# engine (DESIGN.md §9, §10): rerun the committed fault-plan labels with
+# the simulator sharded 4 ways. The 1-thread run already happened above
+# (the env default).
 NEWSWIRE_SIM_THREADS=4 ctest --test-dir "$build" --output-on-failure \
-  -j "$jobs" -L scenario
+  -j "$jobs" -L 'scenario|chaos'
 
 if [[ "${BENCH:-0}" == "1" ]]; then
   # Run every bench binary and check that each emits a machine-readable
@@ -94,6 +97,13 @@ if [[ "${BENCH:-0}" == "1" ]]; then
   # >=3x speedup gate (on hosts with >=4 hardware threads).
   if [[ ! -f "$json_dir/BENCH_sim_scale.json" ]]; then
     echo "BENCH=1: BENCH_sim_scale.json missing" >&2
+    exit 1
+  fi
+  # And the gray-failure bench (EXPERIMENTS.md E17): its exit code asserts
+  # the phi detector at most halves the fixed detector's false suspicions
+  # with delivery complete and p99 inside the repair regime.
+  if [[ ! -f "$json_dir/BENCH_gray_failure.json" ]]; then
+    echo "BENCH=1: BENCH_gray_failure.json missing" >&2
     exit 1
   fi
   echo "BENCH=1: ${#reports[@]} bench reports validated in $json_dir"
