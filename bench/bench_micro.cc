@@ -6,6 +6,7 @@
 #include "astrolabe/cert.h"
 #include "astrolabe/sql/eval.h"
 #include "astrolabe/sql/parser.h"
+#include "astrolabe/sql/plan.h"
 #include "astrolabe/table.h"
 #include "astrolabe/zone_path.h"
 #include "astrolabe/agent.h"
@@ -52,6 +53,16 @@ void BM_EvalCoreAggregation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvalCoreAggregation)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_EvalCoreAggregationCompiled(benchmark::State& state) {
+  Table t = MakeTable(std::size_t(state.range(0)));
+  const auto plan = astrolabe::sql::CompiledQuery::Compile(
+      astrolabe::sql::ParseQuery(astrolabe::DefaultCoreFunctionCode(3)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.Eval(t));
+  }
+}
+BENCHMARK(BM_EvalCoreAggregationCompiled)->Arg(8)->Arg(64)->Arg(256);
 
 void BM_TableMerge(benchmark::State& state) {
   Table incoming = MakeTable(std::size_t(state.range(0)));

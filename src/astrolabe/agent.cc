@@ -113,6 +113,8 @@ obs::MetricsRegistry* Agent::Metrics() {
     obs_.rows_merged = m->Counter("astro.agent.rows_merged");
     obs_.rows_expired = m->Counter("astro.agent.rows_expired");
     obs_.recomputes = m->Counter("astro.agent.aggregate_recomputes");
+    obs_.recompute_skips = m->Counter("astro.agent.recompute_skips");
+    obs_.agg_evals = m->Counter("astro.agent.agg_evals");
     obs_.cert_rejects = m->Counter("astro.agent.certs_rejected");
     obs_.elections = m->Counter("astro.agent.representative_changes");
     obs_.integrity_drops = m->Counter("astro.agent.integrity_drops");
@@ -163,6 +165,7 @@ Agent::Agent(AgentConfig config)
   for (std::size_t i = 0; i < Depth(); ++i) {
     tables_.push_back(std::make_shared<Table>());
   }
+  agg_memo_.resize(Depth());
 }
 
 Agent::~Agent() = default;
@@ -184,6 +187,9 @@ void Agent::Start() {
 void Agent::OnRestart() {
   // Volatile replicas are lost with the process; re-join from seeds.
   for (auto& t : tables_) t = std::make_shared<Table>();
+  // Fresh tables restart their content epochs, so every memo key would
+  // alias: drop the memos wholesale.
+  for (auto& memo : agg_memo_) memo = AggMemo{};
   peer_known_certs_.clear();  // also process memory
   detector_.Clear();          // arrival histories die with the process
   leaf_round_ = 0;
@@ -250,7 +256,9 @@ bool Agent::InstallFunction(const Certificate& cert) {
     NoteCertReject(cert.subject);
     return false;
   }
-  functions_[cert.subject] = InstalledFunction{cert, std::move(query)};
+  functions_[cert.subject] =
+      InstalledFunction{cert, sql::CompiledQuery::Compile(std::move(query))};
+  ++fn_generation_;  // part of every memo key: invalidates all levels
   if (started_ && alive()) RecomputeAggregates();
   return true;
 }
@@ -278,15 +286,21 @@ std::vector<std::string> Agent::InstalledFunctionNames() const {
 
 Row Agent::ZoneSummary(std::size_t level) const {
   assert(level < Depth());
+  // Serve the recomputation memo when it provably matches the live table.
+  const AggMemo& memo = agg_memo_[level];
+  if (!config_.force_full_recompute && memo.valid &&
+      memo.fn_generation == fn_generation_ &&
+      memo.input_epoch == tables_[level]->content_epoch()) {
+    return memo.agg;
+  }
   return AggregateOf(*tables_[level]);
 }
 
 Row Agent::AggregateOf(const Table& table) const {
   Row out;
-  for (const auto& [name, fn] : functions_) {
-    Row r = sql::EvalQuery(fn.query, table);
-    for (auto& [k, v] : r) out.insert_or_assign(k, std::move(v));
-  }
+  // Later functions override earlier ones on output-name collisions, same
+  // as the pre-compiled insert_or_assign merge did.
+  for (const auto& [name, fn] : functions_) fn.plan.EvalInto(table, out);
   return out;
 }
 
@@ -323,6 +337,9 @@ void Agent::RegisterHandler(const std::string& type, Handler handler) {
 void Agent::WarmStartTable(std::size_t level, std::shared_ptr<Table> table) {
   assert(level < Depth());
   tables_[level] = std::move(table);
+  // The replaced table has its own epoch counter; a stale memo comparing
+  // against it would alias. Rare (experiment setup only): drop them all.
+  for (auto& memo : agg_memo_) memo = AggMemo{};
 }
 
 void Agent::OnMessage(const sim::Message& msg) {
@@ -395,40 +412,103 @@ Table& Agent::MutableTableAt(std::size_t level) {
 
 void Agent::RefreshOwnRow() {
   const double now = alive() ? Now() : 0.0;
-  Table& leaf_table = MutableTableAt(Depth() - 1);
-  RowEntry& entry = leaf_table.Upsert(config_.path.Leaf());
+  const std::string& key = config_.path.Leaf();
   // Every round re-versions the row (the version doubles as the liveness
-  // heartbeat), but content_version only moves when the attributes really
-  // change — that is what lets peers ship heartbeat-only refreshes.
-  const bool changed = entry.version == 0 || !RowsEqual(entry.attrs, mib_);
-  entry.attrs = mib_;
-  entry.version = NextVersion();
-  if (changed) entry.content_version = entry.version;
-  entry.last_refresh = now;
+  // heartbeat), but content_version — and the leaf table's content epoch —
+  // only move when the attributes really change: a pure heartbeat reissue
+  // must not dirty the aggregation memo (DESIGN.md §11).
+  const RowEntry* current = tables_[Depth() - 1]->Find(key);
+  const bool changed = current == nullptr || current->version == 0 ||
+                       !RowsEqual(current->attrs, mib_);
+  Table& leaf_table = MutableTableAt(Depth() - 1);
+  if (changed) {
+    RowEntry& entry = leaf_table.Upsert(key);
+    entry.attrs = mib_;
+    entry.version = NextVersion();
+    entry.content_version = entry.version;
+    entry.last_refresh = now;
+  } else {
+    leaf_table.Refresh(key, NextVersion(), now);
+  }
 }
 
 void Agent::RecomputeAggregates() {
+  ++agg_stats_.recompute_calls;
   if (auto* m = Metrics()) m->Add(obs_.recomputes, id());
   const double now = alive() ? Now() : 0.0;
+  const bool force = config_.force_full_recompute;
+  auto* tracer = Tracer();
+  const bool trace = tracer != nullptr &&
+                     tracer->Enabled(obs::EventCategory::kAggregation);
   // Bottom-up: the summary of the zone at `level` components feeds the
-  // table one level up, like a spreadsheet recomputation (paper §3).
+  // table one level up, like a spreadsheet recomputation (paper §3) — but
+  // dirty-tracked (DESIGN.md §11): a level whose input table's content
+  // epoch is unchanged since the memoized evaluation is served from the
+  // memo, and an unchanged parent epoch on top of that proves the written
+  // row still equals the cached aggregate, skipping the RowsEqual compare
+  // as well. Either way the write decisions — and hence the version
+  // sequence, the row bytes, and the gossip — are bit-identical to
+  // evaluating every level every time (force_full_recompute does exactly
+  // that; tests/aggregation_cache_test.cc pins the equivalence).
   for (std::size_t level = Depth() - 1; level >= 1; --level) {
-    Row agg = ZoneSummary(level);
+    AggMemo& memo = agg_memo_[level];
+    const std::uint64_t input_epoch = tables_[level]->content_epoch();
+    const bool hit = !force && memo.valid &&
+                     memo.fn_generation == fn_generation_ &&
+                     memo.input_epoch == input_epoch;
+    if (hit) {
+      ++agg_stats_.cache_hits;
+      if (auto* m = Metrics()) m->Add(obs_.recompute_skips, id());
+      if (trace) {
+        tracer->Record(now, id(), obs::EventCategory::kAggregation,
+                       "agg.cache_hit", level, input_epoch);
+      }
+    } else {
+      memo.agg = AggregateOf(*tables_[level]);
+      memo.input_epoch = input_epoch;
+      memo.fn_generation = fn_generation_;
+      memo.valid = true;
+      ++agg_stats_.levels_evaluated;
+      if (auto* m = Metrics()) m->Add(obs_.agg_evals, id());
+      if (trace) {
+        tracer->Record(now, id(), obs::EventCategory::kAggregation,
+                       "agg.eval", level, input_epoch);
+      }
+    }
     const std::string& key = config_.path.Component(level - 1);
     const RowEntry* current = tables_[level - 1]->Find(key);
-    const bool changed = current == nullptr || !RowsEqual(current->attrs, agg);
+    bool changed;
+    if (hit && memo.parent_clean && current != nullptr &&
+        memo.parent_epoch == tables_[level - 1]->content_epoch()) {
+      // Same aggregate as the memoized pass and no content-changing
+      // mutation has touched the parent table since we last saw the row
+      // equal to it: the compare outcome is forced.
+      changed = false;
+      ++agg_stats_.compare_skips;
+    } else {
+      changed = current == nullptr || !RowsEqual(current->attrs, memo.agg);
+    }
     const bool stale =
         current != nullptr &&
         now - current->last_refresh >= config_.gossip_period * 0.5;
-    if (!changed && !stale) continue;
-    Table& parent = MutableTableAt(level - 1);
-    RowEntry& entry = parent.Upsert(key);
-    entry.attrs = std::move(agg);
-    entry.version = NextVersion();
-    // A stale-only reissue is a pure heartbeat; content_version moves only
-    // when the aggregate genuinely changed.
-    if (changed) entry.content_version = entry.version;
-    entry.last_refresh = now;
+    if (changed || stale) {
+      Table& parent = MutableTableAt(level - 1);
+      if (changed) {
+        RowEntry& entry = parent.Upsert(key);
+        entry.attrs = memo.agg;
+        entry.version = NextVersion();
+        entry.content_version = entry.version;
+        entry.last_refresh = now;
+      } else {
+        // Stale-only reissue: a pure heartbeat — the row body, its
+        // content_version, and the parent's content epoch stay untouched.
+        parent.Refresh(key, NextVersion(), now);
+      }
+    }
+    // In every outcome the parent row now carries (a RowsEqual match of)
+    // memo.agg; remember the epoch that certifies it.
+    memo.parent_clean = true;
+    memo.parent_epoch = tables_[level - 1]->content_epoch();
   }
 }
 

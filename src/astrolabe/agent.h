@@ -23,6 +23,7 @@
 #include "astrolabe/cert.h"
 #include "astrolabe/failure_detector.h"
 #include "astrolabe/sql/ast.h"
+#include "astrolabe/sql/plan.h"
 #include "astrolabe/table.h"
 #include "astrolabe/zone_path.h"
 #include "sim/network.h"
@@ -65,6 +66,13 @@ struct AgentConfig {
   GossipWireMode wire_mode = GossipWireMode::kDelta;
   DetectorMode detector = DetectorMode::kPhiAccrual;
   PhiAccrualConfig phi;           // tuning for kPhiAccrual
+  // Escape hatch (--force-full-recompute in newswire_sim): disable the
+  // dirty-tracked aggregation memo and re-evaluate every level on every
+  // RecomputeAggregates, as the engine did before DESIGN.md §11. Both modes
+  // are bit-identical in every observable (pinned by
+  // tests/aggregation_cache_test.cc); this exists to measure the saving and
+  // to bisect should the memo ever be suspected.
+  bool force_full_recompute = false;
 };
 
 // Well-known attribute names maintained by the agent itself.
@@ -185,6 +193,19 @@ class Agent : public sim::Node {
   };
   const GossipStats& gossip_stats() const { return stats_; }
 
+  // Aggregation-engine accounting (DESIGN.md §11). Per RecomputeAggregates
+  // call, every level in [1, Depth()) is either evaluated or served from
+  // the memo, so `levels_evaluated + cache_hits ==
+  // recompute_calls * (Depth() - 1)` — and with force_full_recompute the
+  // cache_hits term is identically zero.
+  struct AggStats {
+    std::uint64_t recompute_calls = 0;   // RecomputeAggregates invocations
+    std::uint64_t levels_evaluated = 0;  // levels actually re-aggregated
+    std::uint64_t cache_hits = 0;        // levels served from the memo
+    std::uint64_t compare_skips = 0;     // RowsEqual compares proven away
+  };
+  const AggStats& agg_stats() const { return agg_stats_; }
+
   // The row-expiry failure detector (read-only; for tests and health
   // introspection). Only consulted when config().detector == kPhiAccrual.
   const PhiAccrualDetector& failure_detector() const { return detector_; }
@@ -196,7 +217,23 @@ class Agent : public sim::Node {
  private:
   struct InstalledFunction {
     Certificate cert;
-    sql::Query query;
+    // Compiled once at install time; per-round recomputation never touches
+    // the AST shape again (builtin opcodes, classified accumulators).
+    sql::CompiledQuery plan;
+  };
+
+  // Dirty-tracked recomputation memo, one slot per level (DESIGN.md §11).
+  // A slot is a hit when the input table's content epoch and the function
+  // generation both match; `parent_clean` additionally remembers that the
+  // parent row was last seen (or written) equal to `agg`, so an unchanged
+  // parent epoch proves the RowsEqual compare away too.
+  struct AggMemo {
+    bool valid = false;
+    bool parent_clean = false;
+    std::uint64_t input_epoch = 0;
+    std::uint64_t fn_generation = 0;
+    std::uint64_t parent_epoch = 0;
+    Row agg;  // cached aggregate of tables_[level]
   };
 
   struct TableSnapshot {
@@ -285,6 +322,7 @@ class Agent : public sim::Node {
     bool init = false;
     std::uint32_t rounds, exchanges, rows_merged, rows_expired, recomputes,
         cert_rejects, elections, integrity_drops;
+    std::uint32_t recompute_skips, agg_evals;
     std::uint32_t digest_bytes, delta_bytes, full_bytes, rows_sent,
         rows_suppressed, certs_sent;
   };
@@ -293,6 +331,11 @@ class Agent : public sim::Node {
   AgentConfig config_;
   Row mib_;
   std::vector<std::shared_ptr<Table>> tables_;  // size == Depth()
+  std::vector<AggMemo> agg_memo_;               // size == Depth(); [0] unused
+  // Bumped whenever the installed-function set changes; part of every memo
+  // key, so an install invalidates all levels at once.
+  std::uint64_t fn_generation_ = 0;
+  AggStats agg_stats_;
   std::map<std::string, InstalledFunction> functions_;
   std::vector<Certificate> zone_authorities_;
   std::map<std::string, Handler> handlers_;

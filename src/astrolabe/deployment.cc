@@ -85,6 +85,7 @@ Deployment::Deployment(DeploymentConfig config)
     ac.wire_mode = config_.gossip_wire;
     ac.detector = config_.detector;
     ac.phi = config_.phi;
+    ac.force_full_recompute = config_.force_full_recompute;
     ac.trust_root = root_authority_.public_key();
     agents_.push_back(std::make_unique<Agent>(std::move(ac)));
     net_.AddNode(agents_.back().get());

@@ -29,6 +29,9 @@ struct DeploymentConfig {
   GossipWireMode gossip_wire = GossipWireMode::kDelta;
   DetectorMode detector = DetectorMode::kPhiAccrual;
   PhiAccrualConfig phi;  // kPhiAccrual tuning, forwarded to every agent
+  // Escape hatch: disable the dirty-tracked aggregation memo in every
+  // agent (AgentConfig::force_full_recompute).
+  bool force_full_recompute = false;
   std::size_t seed_peers = 3;  // bootstrap contacts per agent
   sim::NetworkConfig net;
   std::uint64_t seed = 1;

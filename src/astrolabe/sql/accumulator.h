@@ -1,0 +1,192 @@
+// The reference aggregation accumulator shared by the interpreter
+// (EvalQuery, eval.cc) and the compiled-plan fallback path (plan.cc).
+// Its semantics — null skipping, per-row TypeError skipping, the SUM
+// int/double promotion, TOP's stable sort and list flattening — define
+// what an aggregation function means; the compiled fast paths in plan.cc
+// must reproduce them byte for byte (pinned by
+// tests/aggregation_cache_test.cc).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "astrolabe/sql/ast.h"
+#include "astrolabe/sql/eval.h"
+#include "astrolabe/table.h"
+
+namespace nw::astrolabe::sql::internal {
+
+// Aggregation accumulator over the (filtered) rows of a table.
+struct Accumulator {
+  const SelectItem& item;
+  std::size_t row_count = 0;       // rows passing WHERE
+  std::size_t value_count = 0;     // non-null inputs
+  AttrValue extreme;               // MIN/MAX running value
+  double sum_d = 0;
+  std::int64_t sum_i = 0;
+  bool all_int = true;
+  BitVector bits;                  // OR/AND over bit vectors
+  std::int64_t mask = 0;           // OR/AND over ints
+  bool mask_mode = false;
+  bool and_first = true;
+  ValueList collected;             // FIRST
+  std::vector<std::pair<AttrValue, AttrValue>> keyed;  // TOP: (key, value)
+
+  explicit Accumulator(const SelectItem& i) : item(i) {}
+
+  void AddRow(const Row& row) {
+    ++row_count;
+    if (item.agg == AggKind::kCountStar) return;
+    AttrValue v;
+    try {
+      v = EvalScalar(*item.arg, row);
+    } catch (const TypeError&) {
+      return;  // heterogeneous rows: skip
+    }
+    if (v.IsNull()) return;
+    try {
+      Feed(v, row);
+    } catch (const TypeError&) {
+      // Mixed-type columns: skip offending rows.
+    }
+  }
+
+  // Compiled-plan fast path (plan.cc): the argument is a bare attribute
+  // reference already looked up in place, so no EvalScalar copy is made.
+  // `v == nullptr` means the attribute is absent (same as a null value).
+  void AddValue(const AttrValue* v, const Row& row) {
+    ++row_count;
+    if (item.agg == AggKind::kCountStar) return;
+    if (v == nullptr || v->IsNull()) return;
+    try {
+      Feed(*v, row);
+    } catch (const TypeError&) {
+      // Mixed-type columns: skip offending rows.
+    }
+  }
+
+  void Feed(const AttrValue& v, const Row& row) {
+    switch (item.agg) {
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        if (value_count == 0) {
+          extreme = v;
+        } else {
+          const int c = v.Compare(extreme);
+          if ((item.agg == AggKind::kMin && c < 0) ||
+              (item.agg == AggKind::kMax && c > 0)) {
+            extreme = v;
+          }
+        }
+        break;
+      }
+      case AggKind::kSum:
+      case AggKind::kAvg: {
+        if (v.type() == AttrValue::Type::kInt) {
+          sum_i += v.AsInt();
+        } else {
+          all_int = false;
+        }
+        sum_d += v.AsDouble();
+        break;
+      }
+      case AggKind::kCount:
+        break;  // value_count tracks it
+      case AggKind::kOrBits:
+      case AggKind::kAndBits: {
+        if (v.type() == AttrValue::Type::kInt) {
+          mask_mode = true;
+          if (item.agg == AggKind::kOrBits) {
+            mask |= v.AsInt();
+          } else {
+            mask = and_first ? v.AsInt() : (mask & v.AsInt());
+          }
+        } else {
+          const BitVector& bv = v.AsBits();
+          if (item.agg == AggKind::kOrBits) {
+            bits |= bv;
+          } else {
+            if (and_first) {
+              bits = bv;
+            } else {
+              bits &= bv;
+            }
+          }
+        }
+        and_first = false;
+        break;
+      }
+      case AggKind::kFirst: {
+        if (static_cast<std::int64_t>(collected.size()) >= item.k) break;
+        if (v.type() == AttrValue::Type::kList) {
+          for (const auto& elem : v.AsList()) {
+            if (static_cast<std::int64_t>(collected.size()) >= item.k) break;
+            collected.push_back(elem);
+          }
+        } else {
+          collected.push_back(v);
+        }
+        break;
+      }
+      case AggKind::kTop: {
+        AttrValue key = EvalScalar(*item.order_by, row);
+        if (key.IsNull()) return;
+        keyed.emplace_back(std::move(key), v);
+        break;
+      }
+      case AggKind::kCountStar:
+        break;  // handled in AddRow
+    }
+    ++value_count;
+  }
+
+  // Produces the final value; null means "omit the attribute".
+  AttrValue Finish() {
+    switch (item.agg) {
+      case AggKind::kCountStar:
+        return AttrValue(static_cast<std::int64_t>(row_count));
+      case AggKind::kCount:
+        return AttrValue(static_cast<std::int64_t>(value_count));
+      case AggKind::kMin:
+      case AggKind::kMax:
+        return value_count ? extreme : AttrValue();
+      case AggKind::kSum:
+        if (value_count == 0) return AttrValue(std::int64_t{0});
+        return all_int ? AttrValue(sum_i) : AttrValue(sum_d);
+      case AggKind::kAvg:
+        return value_count ? AttrValue(sum_d / double(value_count))
+                           : AttrValue();
+      case AggKind::kOrBits:
+      case AggKind::kAndBits:
+        if (value_count == 0) return AttrValue();
+        return mask_mode ? AttrValue(mask) : AttrValue(bits);
+      case AggKind::kFirst:
+        return AttrValue(std::move(collected));
+      case AggKind::kTop: {
+        std::stable_sort(keyed.begin(), keyed.end(),
+                         [this](const auto& a, const auto& b) {
+                           const int c = a.first.Compare(b.first);
+                           return item.descending ? c > 0 : c < 0;
+                         });
+        ValueList out;
+        for (const auto& [key, val] : keyed) {
+          if (static_cast<std::int64_t>(out.size()) >= item.k) break;
+          if (val.type() == AttrValue::Type::kList) {
+            for (const auto& elem : val.AsList()) {
+              if (static_cast<std::int64_t>(out.size()) >= item.k) break;
+              out.push_back(elem);
+            }
+          } else {
+            out.push_back(val);
+          }
+        }
+        return AttrValue(std::move(out));
+      }
+    }
+    return AttrValue();
+  }
+};
+
+}  // namespace nw::astrolabe::sql::internal

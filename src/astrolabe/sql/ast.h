@@ -19,6 +19,8 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "astrolabe/value.h"
@@ -27,6 +29,39 @@ namespace nw::astrolabe::sql {
 
 struct Expr;
 using ExprPtr = std::unique_ptr<Expr>;
+
+// Builtin scalar functions, resolved once when the Call node is built so
+// evaluation never re-examines the (case-insensitive) name. kUnknown is
+// not a parse error — exactly as before, an unrecognized name parses fine
+// and throws TypeError when the call is evaluated.
+enum class Builtin : std::uint8_t {
+  kBit, kContains, kLen, kCoalesce, kIf, kMinOf, kMaxOf, kIsNull,
+  kUnknown,
+};
+
+constexpr Builtin ResolveBuiltin(std::string_view name) noexcept {
+  constexpr std::pair<std::string_view, Builtin> kBuiltins[] = {
+      {"bit", Builtin::kBit},         {"contains", Builtin::kContains},
+      {"len", Builtin::kLen},         {"coalesce", Builtin::kCoalesce},
+      {"if", Builtin::kIf},           {"minof", Builtin::kMinOf},
+      {"maxof", Builtin::kMaxOf},     {"isnull", Builtin::kIsNull},
+  };
+  for (const auto& [candidate, builtin] : kBuiltins) {
+    if (name.size() != candidate.size()) continue;
+    bool match = true;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const char lower =
+          (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+      if (lower != candidate[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return builtin;
+  }
+  return Builtin::kUnknown;
+}
 
 enum class ExprKind {
   kLiteral,   // value
@@ -47,6 +82,7 @@ struct Expr {
   ExprKind kind;
   AttrValue literal;            // kLiteral
   std::string name;             // kAttrRef / kCall
+  Builtin builtin = Builtin::kUnknown;  // kCall: resolved at parse time
   BinOp op = BinOp::kAdd;       // kBinary
   std::vector<ExprPtr> args;
 
@@ -80,6 +116,7 @@ struct Expr {
     auto e = std::make_unique<Expr>();
     e->kind = ExprKind::kCall;
     e->name = std::move(name);
+    e->builtin = ResolveBuiltin(e->name);
     e->args = std::move(args);
     return e;
   }

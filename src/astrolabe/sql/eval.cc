@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "astrolabe/sql/accumulator.h"
+
 namespace nw::astrolabe::sql {
 
 namespace {
@@ -112,246 +114,93 @@ AttrValue EvalScalar(const Expr& expr, const Row& row) {
 
 namespace {
 
+// Dispatches on the Builtin opcode resolved at parse time (ast.h), so no
+// per-call name normalization (and its string allocation) happens here.
 AttrValue EvalCall(const Expr& expr, const Row& row) {
-  std::string fn = expr.name;
-  for (char& c : fn) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-
-  auto arity = [&](std::size_t n) {
+  auto arity = [&](const char* fn, std::size_t n) {
     if (expr.args.size() != n) {
-      throw TypeError("builtin " + fn + " expects " + std::to_string(n) +
-                      " argument(s)");
+      throw TypeError("builtin " + std::string(fn) + " expects " +
+                      std::to_string(n) + " argument(s)");
     }
   };
 
-  if (fn == "bit") {
-    // BIT(bits, i): true iff bit i is set. Out-of-range -> false.
-    arity(2);
-    AttrValue bits = EvalScalar(*expr.args[0], row);
-    AttrValue idx = EvalScalar(*expr.args[1], row);
-    if (bits.IsNull() || idx.IsNull()) return AttrValue();
-    const std::int64_t i = idx.AsInt();
-    const BitVector& bv = bits.AsBits();
-    if (i < 0 || static_cast<std::size_t>(i) >= bv.size()) {
+  switch (expr.builtin) {
+    case Builtin::kBit: {
+      // BIT(bits, i): true iff bit i is set. Out-of-range -> false.
+      arity("bit", 2);
+      AttrValue bits = EvalScalar(*expr.args[0], row);
+      AttrValue idx = EvalScalar(*expr.args[1], row);
+      if (bits.IsNull() || idx.IsNull()) return AttrValue();
+      const std::int64_t i = idx.AsInt();
+      const BitVector& bv = bits.AsBits();
+      if (i < 0 || static_cast<std::size_t>(i) >= bv.size()) {
+        return AttrValue(false);
+      }
+      return AttrValue(bv.Test(static_cast<std::size_t>(i)));
+    }
+    case Builtin::kContains: {
+      // CONTAINS(list, v) or CONTAINS(string, substring).
+      arity("contains", 2);
+      AttrValue hay = EvalScalar(*expr.args[0], row);
+      AttrValue needle = EvalScalar(*expr.args[1], row);
+      if (hay.IsNull() || needle.IsNull()) return AttrValue();
+      if (hay.type() == AttrValue::Type::kString) {
+        return AttrValue(hay.AsString().find(needle.AsString()) !=
+                         std::string::npos);
+      }
+      for (const auto& v : hay.AsList()) {
+        if (v.Equals(needle)) return AttrValue(true);
+      }
       return AttrValue(false);
     }
-    return AttrValue(bv.Test(static_cast<std::size_t>(i)));
-  }
-  if (fn == "contains") {
-    // CONTAINS(list, v) or CONTAINS(string, substring).
-    arity(2);
-    AttrValue hay = EvalScalar(*expr.args[0], row);
-    AttrValue needle = EvalScalar(*expr.args[1], row);
-    if (hay.IsNull() || needle.IsNull()) return AttrValue();
-    if (hay.type() == AttrValue::Type::kString) {
-      return AttrValue(hay.AsString().find(needle.AsString()) !=
-                       std::string::npos);
+    case Builtin::kLen: {
+      arity("len", 1);
+      AttrValue v = EvalScalar(*expr.args[0], row);
+      if (v.IsNull()) return AttrValue();
+      switch (v.type()) {
+        case AttrValue::Type::kString:
+          return AttrValue(static_cast<std::int64_t>(v.AsString().size()));
+        case AttrValue::Type::kList:
+          return AttrValue(static_cast<std::int64_t>(v.AsList().size()));
+        case AttrValue::Type::kBits:
+          return AttrValue(static_cast<std::int64_t>(v.AsBits().PopCount()));
+        default:
+          throw TypeError("LEN expects string, list or bits");
+      }
     }
-    for (const auto& v : hay.AsList()) {
-      if (v.Equals(needle)) return AttrValue(true);
+    case Builtin::kCoalesce: {
+      for (const auto& arg : expr.args) {
+        AttrValue v = EvalScalar(*arg, row);
+        if (!v.IsNull()) return v;
+      }
+      return AttrValue();
     }
-    return AttrValue(false);
-  }
-  if (fn == "len") {
-    arity(1);
-    AttrValue v = EvalScalar(*expr.args[0], row);
-    if (v.IsNull()) return AttrValue();
-    switch (v.type()) {
-      case AttrValue::Type::kString:
-        return AttrValue(static_cast<std::int64_t>(v.AsString().size()));
-      case AttrValue::Type::kList:
-        return AttrValue(static_cast<std::int64_t>(v.AsList().size()));
-      case AttrValue::Type::kBits:
-        return AttrValue(static_cast<std::int64_t>(v.AsBits().PopCount()));
-      default:
-        throw TypeError("LEN expects string, list or bits");
+    case Builtin::kIf: {
+      arity("if", 3);
+      AttrValue c = EvalScalar(*expr.args[0], row);
+      if (c.IsNull()) return AttrValue();
+      return EvalScalar(c.AsBool() ? *expr.args[1] : *expr.args[2], row);
     }
-  }
-  if (fn == "coalesce") {
-    for (const auto& arg : expr.args) {
-      AttrValue v = EvalScalar(*arg, row);
-      if (!v.IsNull()) return v;
+    case Builtin::kMinOf:
+    case Builtin::kMaxOf: {
+      arity(expr.builtin == Builtin::kMinOf ? "minof" : "maxof", 2);
+      AttrValue a = EvalScalar(*expr.args[0], row);
+      AttrValue b = EvalScalar(*expr.args[1], row);
+      if (a.IsNull()) return b;
+      if (b.IsNull()) return a;
+      const int c = a.Compare(b);
+      if (expr.builtin == Builtin::kMinOf) return c <= 0 ? a : b;
+      return c >= 0 ? a : b;
     }
-    return AttrValue();
-  }
-  if (fn == "if") {
-    arity(3);
-    AttrValue c = EvalScalar(*expr.args[0], row);
-    if (c.IsNull()) return AttrValue();
-    return EvalScalar(c.AsBool() ? *expr.args[1] : *expr.args[2], row);
-  }
-  if (fn == "minof" || fn == "maxof") {
-    arity(2);
-    AttrValue a = EvalScalar(*expr.args[0], row);
-    AttrValue b = EvalScalar(*expr.args[1], row);
-    if (a.IsNull()) return b;
-    if (b.IsNull()) return a;
-    const int c = a.Compare(b);
-    if (fn == "minof") return c <= 0 ? a : b;
-    return c >= 0 ? a : b;
-  }
-  if (fn == "isnull") {
-    arity(1);
-    return AttrValue(EvalScalar(*expr.args[0], row).IsNull());
+    case Builtin::kIsNull: {
+      arity("isnull", 1);
+      return AttrValue(EvalScalar(*expr.args[0], row).IsNull());
+    }
+    case Builtin::kUnknown:
+      break;
   }
   throw TypeError("unknown builtin function '" + expr.name + "'");
 }
-
-// Aggregation accumulator over the (filtered) rows of a table.
-struct Accumulator {
-  const SelectItem& item;
-  std::size_t row_count = 0;       // rows passing WHERE
-  std::size_t value_count = 0;     // non-null inputs
-  AttrValue extreme;               // MIN/MAX running value
-  double sum_d = 0;
-  std::int64_t sum_i = 0;
-  bool all_int = true;
-  BitVector bits;                  // OR/AND over bit vectors
-  std::int64_t mask = 0;           // OR/AND over ints
-  bool mask_mode = false;
-  bool and_first = true;
-  ValueList collected;             // FIRST
-  std::vector<std::pair<AttrValue, AttrValue>> keyed;  // TOP: (key, value)
-
-  explicit Accumulator(const SelectItem& i) : item(i) {}
-
-  void AddRow(const Row& row) {
-    ++row_count;
-    if (item.agg == AggKind::kCountStar) return;
-    AttrValue v;
-    try {
-      v = EvalScalar(*item.arg, row);
-    } catch (const TypeError&) {
-      return;  // heterogeneous rows: skip
-    }
-    if (v.IsNull()) return;
-    try {
-      Feed(v, row);
-    } catch (const TypeError&) {
-      // Mixed-type columns: skip offending rows.
-    }
-  }
-
-  void Feed(const AttrValue& v, const Row& row) {
-    switch (item.agg) {
-      case AggKind::kMin:
-      case AggKind::kMax: {
-        if (value_count == 0) {
-          extreme = v;
-        } else {
-          const int c = v.Compare(extreme);
-          if ((item.agg == AggKind::kMin && c < 0) ||
-              (item.agg == AggKind::kMax && c > 0)) {
-            extreme = v;
-          }
-        }
-        break;
-      }
-      case AggKind::kSum:
-      case AggKind::kAvg: {
-        if (v.type() == AttrValue::Type::kInt) {
-          sum_i += v.AsInt();
-        } else {
-          all_int = false;
-        }
-        sum_d += v.AsDouble();
-        break;
-      }
-      case AggKind::kCount:
-        break;  // value_count tracks it
-      case AggKind::kOrBits:
-      case AggKind::kAndBits: {
-        if (v.type() == AttrValue::Type::kInt) {
-          mask_mode = true;
-          if (item.agg == AggKind::kOrBits) {
-            mask |= v.AsInt();
-          } else {
-            mask = and_first ? v.AsInt() : (mask & v.AsInt());
-          }
-        } else {
-          const BitVector& bv = v.AsBits();
-          if (item.agg == AggKind::kOrBits) {
-            bits |= bv;
-          } else {
-            if (and_first) {
-              bits = bv;
-            } else {
-              bits &= bv;
-            }
-          }
-        }
-        and_first = false;
-        break;
-      }
-      case AggKind::kFirst: {
-        if (static_cast<std::int64_t>(collected.size()) >= item.k) break;
-        if (v.type() == AttrValue::Type::kList) {
-          for (const auto& elem : v.AsList()) {
-            if (static_cast<std::int64_t>(collected.size()) >= item.k) break;
-            collected.push_back(elem);
-          }
-        } else {
-          collected.push_back(v);
-        }
-        break;
-      }
-      case AggKind::kTop: {
-        AttrValue key = EvalScalar(*item.order_by, row);
-        if (key.IsNull()) return;
-        keyed.emplace_back(std::move(key), v);
-        break;
-      }
-      case AggKind::kCountStar:
-        break;  // handled in AddRow
-    }
-    ++value_count;
-  }
-
-  // Produces the final value; null means "omit the attribute".
-  AttrValue Finish() {
-    switch (item.agg) {
-      case AggKind::kCountStar:
-        return AttrValue(static_cast<std::int64_t>(row_count));
-      case AggKind::kCount:
-        return AttrValue(static_cast<std::int64_t>(value_count));
-      case AggKind::kMin:
-      case AggKind::kMax:
-        return value_count ? extreme : AttrValue();
-      case AggKind::kSum:
-        if (value_count == 0) return AttrValue(std::int64_t{0});
-        return all_int ? AttrValue(sum_i) : AttrValue(sum_d);
-      case AggKind::kAvg:
-        return value_count ? AttrValue(sum_d / double(value_count))
-                           : AttrValue();
-      case AggKind::kOrBits:
-      case AggKind::kAndBits:
-        if (value_count == 0) return AttrValue();
-        return mask_mode ? AttrValue(mask) : AttrValue(bits);
-      case AggKind::kFirst:
-        return AttrValue(std::move(collected));
-      case AggKind::kTop: {
-        std::stable_sort(keyed.begin(), keyed.end(),
-                         [this](const auto& a, const auto& b) {
-                           const int c = a.first.Compare(b.first);
-                           return item.descending ? c > 0 : c < 0;
-                         });
-        ValueList out;
-        for (const auto& [key, val] : keyed) {
-          if (static_cast<std::int64_t>(out.size()) >= item.k) break;
-          if (val.type() == AttrValue::Type::kList) {
-            for (const auto& elem : val.AsList()) {
-              if (static_cast<std::int64_t>(out.size()) >= item.k) break;
-              out.push_back(elem);
-            }
-          } else {
-            out.push_back(val);
-          }
-        }
-        return AttrValue(std::move(out));
-      }
-    }
-    return AttrValue();
-  }
-};
 
 }  // namespace
 
@@ -365,7 +214,7 @@ bool EvalPredicate(const Expr& expr, const Row& row) {
 }
 
 Row EvalQuery(const Query& query, const Table& table) {
-  std::vector<Accumulator> accs;
+  std::vector<internal::Accumulator> accs;
   accs.reserve(query.items.size());
   for (const auto& item : query.items) accs.emplace_back(item);
 

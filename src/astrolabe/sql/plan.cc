@@ -1,0 +1,132 @@
+#include "astrolabe/sql/plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "astrolabe/sql/accumulator.h"
+#include "astrolabe/sql/eval.h"
+
+namespace nw::astrolabe::sql {
+
+namespace {
+
+const AttrValue* FindAttr(const Row& row, const std::string& name) {
+  auto it = row.find(name);
+  return it == row.end() ? nullptr : &it->second;
+}
+
+// Fast TOP(k, attr ORDER BY attr): accumulates (key, value) as pointers
+// into the live rows and copies only the k survivors at Finish. Matches
+// Accumulator's kTop semantics exactly: null values and null keys are
+// skipped, the sort is stable, and list values flatten into the output.
+struct TopAcc {
+  const SelectItem& item;
+  std::vector<std::pair<const AttrValue*, const AttrValue*>> keyed;
+
+  explicit TopAcc(const SelectItem& i) : item(i) {}
+
+  void Add(const AttrValue* v, const AttrValue* key) {
+    if (v == nullptr || v->IsNull()) return;
+    if (key == nullptr || key->IsNull()) return;
+    keyed.emplace_back(key, v);
+  }
+
+  AttrValue Finish() {
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [this](const auto& a, const auto& b) {
+                       const int c = a.first->Compare(*b.first);
+                       return item.descending ? c > 0 : c < 0;
+                     });
+    ValueList out;
+    for (const auto& [key, val] : keyed) {
+      if (static_cast<std::int64_t>(out.size()) >= item.k) break;
+      if (val->type() == AttrValue::Type::kList) {
+        for (const auto& elem : val->AsList()) {
+          if (static_cast<std::int64_t>(out.size()) >= item.k) break;
+          out.push_back(elem);
+        }
+      } else {
+        out.push_back(*val);
+      }
+    }
+    return AttrValue(std::move(out));
+  }
+};
+
+bool IsBareAttr(const ExprPtr& e) {
+  return e != nullptr && e->kind == ExprKind::kAttrRef;
+}
+
+}  // namespace
+
+CompiledQuery CompiledQuery::Compile(Query query) {
+  CompiledQuery plan;
+  plan.query_ = std::make_shared<const Query>(std::move(query));
+  plan.items_.reserve(plan.query_->items.size());
+  for (const SelectItem& item : plan.query_->items) {
+    ItemPlan ip;
+    ip.item = &item;
+    if (item.agg == AggKind::kTop) {
+      if (IsBareAttr(item.arg) && IsBareAttr(item.order_by)) {
+        ip.kind = ItemKind::kTop;
+        ip.arg_attr = &item.arg->name;
+        ip.order_attr = &item.order_by->name;
+      }
+    } else if (item.agg == AggKind::kCountStar) {
+      ip.kind = ItemKind::kSimple;  // arg_attr stays null: counts rows only
+    } else if (IsBareAttr(item.arg)) {
+      ip.kind = ItemKind::kSimple;
+      ip.arg_attr = &item.arg->name;
+    }
+    plan.items_.push_back(ip);
+  }
+  return plan;
+}
+
+Row CompiledQuery::Eval(const Table& table) const {
+  Row out;
+  EvalInto(table, out);
+  return out;
+}
+
+void CompiledQuery::EvalInto(const Table& table, Row& out) const {
+  std::vector<internal::Accumulator> accs;
+  std::vector<TopAcc> tops;
+  accs.reserve(items_.size());
+  tops.reserve(items_.size());
+  for (const ItemPlan& ip : items_) {
+    accs.emplace_back(*ip.item);
+    tops.emplace_back(*ip.item);  // only used for kTop, cheap otherwise
+  }
+
+  const Expr* where = query_->where.get();
+  for (const auto& [key, entry] : table) {
+    const Row& row = entry.attrs;
+    if (where && !EvalPredicate(*where, row)) continue;
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      const ItemPlan& ip = items_[i];
+      switch (ip.kind) {
+        case ItemKind::kSimple:
+          accs[i].AddValue(ip.arg_attr ? FindAttr(row, *ip.arg_attr) : nullptr,
+                           row);
+          break;
+        case ItemKind::kTop:
+          tops[i].Add(FindAttr(row, *ip.arg_attr),
+                      FindAttr(row, *ip.order_attr));
+          break;
+        case ItemKind::kGeneric:
+          accs[i].AddRow(row);
+          break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    AttrValue v = items_[i].kind == ItemKind::kTop ? tops[i].Finish()
+                                                   : accs[i].Finish();
+    if (!v.IsNull()) out.insert_or_assign(items_[i].item->out_name,
+                                          std::move(v));
+  }
+}
+
+}  // namespace nw::astrolabe::sql

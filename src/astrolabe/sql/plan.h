@@ -1,0 +1,64 @@
+// Compiled aggregation query plans (DESIGN.md §11).
+//
+// A CompiledQuery is a sql::Query lowered once — at Agent::InstallFunction
+// time — into a form the per-round recomputation can execute without
+// re-examining the AST shape: builtins are already enum opcodes (ast.h),
+// and each SELECT item is classified into the cheapest executable form:
+//
+//   * kSimple  — COUNT(*) or an aggregate over a bare attribute reference:
+//                the value is looked up in the row map once and fed by
+//                pointer, with no AttrValue copy per row;
+//   * kTop     — TOP(k, attr ORDER BY attr): both the value and the sort
+//                key are plain lookups, accumulated as pointer pairs and
+//                only copied for the k survivors at Finish;
+//   * kGeneric — anything else falls back to the reference Accumulator
+//                (accumulator.h), which the fast paths must match exactly.
+//
+// Results are byte-identical to the interpreted sql::EvalQuery — pinned by
+// tests/aggregation_cache_test.cc and bench/bench_micro.cc.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "astrolabe/sql/ast.h"
+#include "astrolabe/table.h"
+
+namespace nw::astrolabe::sql {
+
+class CompiledQuery {
+ public:
+  CompiledQuery() = default;
+
+  // Takes ownership of the query; the plan holds pointers into it, so it
+  // lives in a shared_ptr (CompiledQuery stays cheaply copyable — agents
+  // copy InstalledFunction values around).
+  static CompiledQuery Compile(Query query);
+
+  bool valid() const { return query_ != nullptr; }
+  const Query& query() const { return *query_; }
+
+  // Evaluates the plan over a table, producing the zone summary row.
+  Row Eval(const Table& table) const;
+
+  // Same, but emits into `out` (no intermediate Row copy). `out` need not
+  // be empty; existing attributes with other names are left alone.
+  void EvalInto(const Table& table, Row& out) const;
+
+ private:
+  enum class ItemKind { kGeneric, kSimple, kTop };
+
+  struct ItemPlan {
+    const SelectItem* item = nullptr;
+    ItemKind kind = ItemKind::kGeneric;
+    // kSimple: the pre-interned attribute name (null for COUNT(*)).
+    const std::string* arg_attr = nullptr;
+    // kTop: value and sort-key attribute names.
+    const std::string* order_attr = nullptr;
+  };
+
+  std::shared_ptr<const Query> query_;
+  std::vector<ItemPlan> items_;
+};
+
+}  // namespace nw::astrolabe::sql

@@ -85,9 +85,28 @@ class Table {
     return it == rows_.end() ? nullptr : &it->second;
   }
 
-  RowEntry& Upsert(const std::string& key) { return rows_[key]; }
+  // Hands out a mutable row, creating it if absent. Conservatively bumps
+  // the content epoch — the caller gets write access to the row body. A
+  // heartbeat-only reissue must use Refresh() instead so it stays
+  // epoch-neutral.
+  RowEntry& Upsert(const std::string& key) {
+    ++content_epoch_;
+    return rows_[key];
+  }
 
-  void Erase(const std::string& key) { rows_.erase(key); }
+  // Heartbeat-only reissue of an existing row: the version (liveness) and
+  // refresh clock advance, the body — and therefore the content epoch —
+  // stay untouched. No-op if the row is absent.
+  void Refresh(const std::string& key, std::uint64_t version, double now) {
+    auto it = rows_.find(key);
+    if (it == rows_.end()) return;
+    it->second.version = version;
+    it->second.last_refresh = now;
+  }
+
+  void Erase(const std::string& key) {
+    if (rows_.erase(key) > 0) ++content_epoch_;
+  }
 
   // Merges one remote entry; returns true if it replaced/added local state.
   bool MergeEntry(const std::string& key, const RowEntry& incoming,
@@ -97,10 +116,20 @@ class Table {
       RowEntry e = incoming;
       e.last_refresh = now;
       rows_.emplace(key, std::move(e));
+      ++content_epoch_;
       return true;
     }
     if (incoming.version > it->second.version) {
-      it->second.attrs = incoming.attrs;
+      // Owners stamp a globally unique content_version per body (the node
+      // id is embedded in the version), so an equal content_version proves
+      // the incoming body is byte-identical to ours: only the heartbeat
+      // advanced, the stored attributes and the content epoch stay put.
+      // 0 means un-stamped (hand-built rows): no proof, copy conservatively.
+      if (incoming.content_version == 0 ||
+          incoming.content_version != it->second.content_version) {
+        it->second.attrs = incoming.attrs;
+        ++content_epoch_;
+      }
       it->second.version = incoming.version;
       it->second.content_version = incoming.content_version;
       it->second.last_refresh = now;
@@ -138,6 +167,7 @@ class Table {
         ++it;
       }
     }
+    if (evicted > 0) ++content_epoch_;
     return evicted;
   }
 
@@ -229,6 +259,17 @@ class Table {
   Map::const_iterator begin() const { return rows_.begin(); }
   Map::const_iterator end() const { return rows_.end(); }
 
+  // Monotone counter of content-changing mutations (DESIGN.md §11): row
+  // bodies written (Upsert, MergeEntry with a different content stream)
+  // and rows removed (Erase, expiry). Heartbeat-only updates — Refresh,
+  // MergeRefresh, and same-content MergeEntry version advances — leave it
+  // untouched. An unchanged epoch proves the table's aggregate-relevant
+  // content is unchanged, which is what lets the agent's dirty-tracked
+  // recomputation skip the level entirely. Copied by the copy constructor
+  // (a COW clone holds the same content), reset only by constructing a
+  // fresh Table.
+  std::uint64_t content_epoch() const noexcept { return content_epoch_; }
+
   std::size_t WireBytes() const {
     std::size_t n = 8;
     for (const auto& [k, e] : rows_) n += k.size() + 10 + RowWireBytes(e.attrs);
@@ -237,6 +278,7 @@ class Table {
 
  private:
   Map rows_;
+  std::uint64_t content_epoch_ = 0;
 };
 
 }  // namespace nw::astrolabe

@@ -16,6 +16,7 @@ astrolabe::DeploymentConfig MakeDeploymentConfig(const SystemConfig& cfg) {
   dc.contacts_per_zone = cfg.contacts_per_zone;
   dc.gossip_wire = cfg.gossip_wire;
   dc.detector = cfg.detector;
+  dc.force_full_recompute = cfg.force_full_recompute;
   dc.net = cfg.net;
   dc.seed = cfg.seed;
   dc.sim_threads = cfg.sim_threads;

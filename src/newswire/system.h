@@ -30,6 +30,9 @@ struct SystemConfig {
   std::int64_t contacts_per_zone = 3;
   astrolabe::GossipWireMode gossip_wire = astrolabe::GossipWireMode::kDelta;
   astrolabe::DetectorMode detector = astrolabe::DetectorMode::kPhiAccrual;
+  // Escape hatch (--force-full-recompute): run the pre-§11 evaluate-every-
+  // level aggregation engine instead of the dirty-tracked memo.
+  bool force_full_recompute = false;
   sim::NetworkConfig net;
   pubsub::BloomConfig bloom;
   bool hierarchical_subjects = false;  // §7: "tech" also matches "tech.*"

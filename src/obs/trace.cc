@@ -12,7 +12,7 @@ namespace {
 constexpr const char* kCategoryNames[] = {
     "gossip", "merge",   "cert",  "election", "send",   "deliver",
     "drop",   "fault",   "publish", "cache",  "repair", "reliable",
-    "integrity",
+    "integrity", "aggregation",
 };
 static_assert(sizeof(kCategoryNames) / sizeof(kCategoryNames[0]) ==
                   static_cast<std::size_t>(EventCategory::kCount_),

@@ -52,6 +52,7 @@ enum class EventCategory : std::uint8_t {
   kRepair,    // anti-entropy pull repair and state transfer
   kReliable,  // hop-level acks, retransmissions, failovers
   kIntegrity, // frame corruption and checksum verify-and-drop
+  kAggregation, // dirty-tracked recompute memo hits and evaluations
   kCount_,    // sentinel
 };
 

@@ -63,6 +63,9 @@ void PrintUsage() {
       "                        the generated plan is printed and committable\n"
       "  --detector M          row-expiry failure detector: phi | fixed\n"
       "                        (default phi; fixed = legacy 6-round timeout)\n"
+      "  --force-full-recompute  disable the dirty-tracked aggregation memo\n"
+      "                        and re-evaluate every level every round\n"
+      "                        (bit-identical output; DESIGN.md §11)\n"
       "  --hierarchical        subjects form a dot hierarchy (see §7)\n"
       "  --verify              publisher signature verification on\n"
       "  --bloom-bits N        subscription filter size (default 1024)\n"
@@ -106,6 +109,7 @@ int main(int argc, char** argv) {
                  detector_name.c_str());
     return 2;
   }
+  cfg.force_full_recompute = flags.GetBool("force-full-recompute", false);
   cfg.net.loss_prob = flags.GetDouble("loss", 0.0);
   cfg.body_bytes = std::size_t(flags.GetInt("body-bytes", 2048));
   cfg.catalog_size = std::size_t(flags.GetInt("catalog", 16));
@@ -273,6 +277,7 @@ int main(int argc, char** argv) {
   }
   std::uint64_t repaired = 0, fp = 0, relays = 0;
   std::uint64_t integrity_drops = 0, rows_expired = 0;
+  std::uint64_t agg_evals = 0, agg_memo_hits = 0;
   for (std::size_t i = 0; i < sys.subscriber_count(); ++i) {
     repaired += sys.subscriber(i).stats().repaired;
   }
@@ -281,6 +286,8 @@ int main(int argc, char** argv) {
     relays += sys.pubsub_at(i).stats().relay_discards;
     integrity_drops += sys.deployment().agent(i).gossip_stats().integrity_drops;
     rows_expired += sys.deployment().agent(i).gossip_stats().rows_expired;
+    agg_evals += sys.deployment().agent(i).agg_stats().levels_evaluated;
+    agg_memo_hits += sys.deployment().agent(i).agg_stats().cache_hits;
   }
   const multicast::MulticastStats mc = sys.MulticastTotals();
   const auto total = sys.deployment().net().TotalStats();
@@ -309,6 +316,8 @@ int main(int argc, char** argv) {
   report.AddRow({"corrupted frames", util::TablePrinter::Int(long(total.messages_corrupted))});
   report.AddRow({"integrity drops", util::TablePrinter::Int(long(integrity_drops))});
   report.AddRow({"rows expired (suspicions)", util::TablePrinter::Int(long(rows_expired))});
+  report.AddRow({"aggregate evaluations", util::TablePrinter::Int(long(agg_evals))});
+  report.AddRow({"aggregate memo hits", util::TablePrinter::Int(long(agg_memo_hits))});
   report.AddRow({"dup hops received", util::TablePrinter::Int(long(mc.dup_hops_received))});
   report.AddRow({"gray quarantines", util::TablePrinter::Int(long(mc.quarantines))});
   report.AddRow({"publisher egress MB", util::TablePrinter::Num(pub_bytes / 1e6, 2)});

@@ -41,22 +41,24 @@ if [[ "${TSAN:-0}" == "1" || "${NEWSWIRE_SANITIZE:-}" == "thread" ]]; then
   # gray-failure cocktails replay at --sim-threads 1/2/4 internally). The
   # replays also run once more with the whole scenario machinery forced
   # onto 4 shards so every cross-layer path executes on worker threads
-  # under the sanitizer.
+  # under the sanitizer. The aggregation label rides along in both passes:
+  # its A/B runs compare traces recorded through the staging tracer, which
+  # is exactly the machinery TSan needs to see under worker threads.
   ctest --test-dir "$build" --output-on-failure -j "$jobs" \
-    -L 'unit|parallel|chaos' "$@"
+    -L 'unit|parallel|chaos|aggregation' "$@"
   NEWSWIRE_SIM_THREADS=4 ctest --test-dir "$build" --output-on-failure \
-    -j "$jobs" -L 'scenario|chaos' "$@"
+    -j "$jobs" -L 'scenario|chaos|aggregation' "$@"
   exit 0
 fi
 
 ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"
 
-# The scenario and chaos suites must replay identically under the parallel
-# engine (DESIGN.md §9, §10): rerun the committed fault-plan labels with
-# the simulator sharded 4 ways. The 1-thread run already happened above
-# (the env default).
+# The scenario, chaos, and aggregation suites must replay identically
+# under the parallel engine (DESIGN.md §9, §10, §11): rerun the committed
+# fault-plan labels with the simulator sharded 4 ways. The 1-thread run
+# already happened above (the env default).
 NEWSWIRE_SIM_THREADS=4 ctest --test-dir "$build" --output-on-failure \
-  -j "$jobs" -L 'scenario|chaos'
+  -j "$jobs" -L 'scenario|chaos|aggregation'
 
 if [[ "${BENCH:-0}" == "1" ]]; then
   # Run every bench binary and check that each emits a machine-readable
@@ -104,6 +106,13 @@ if [[ "${BENCH:-0}" == "1" ]]; then
   # with delivery complete and p99 inside the repair regime.
   if [[ ! -f "$json_dir/BENCH_gray_failure.json" ]]; then
     echo "BENCH=1: BENCH_gray_failure.json missing" >&2
+    exit 1
+  fi
+  # And the incremental-aggregation bench (EXPERIMENTS.md E18): its exit
+  # code asserts the >=5x steady-state eval-work reduction at 64-child
+  # zones with bit-identical replicated state across both engines.
+  if [[ ! -f "$json_dir/BENCH_aggregation.json" ]]; then
+    echo "BENCH=1: BENCH_aggregation.json missing" >&2
     exit 1
   fi
   echo "BENCH=1: ${#reports[@]} bench reports validated in $json_dir"
